@@ -1,0 +1,55 @@
+"""Future work (paper §6): alternative transition-lookup structures.
+
+"In the future, we will investigate other techniques to optimize the
+transition lookup operation and amortize TEA's cost."  This bench runs
+that investigation: the paper's linked list and global B+ tree against
+an open-addressing hash table and a sorted-address array, on the most
+trace-heavy benchmark available.  Expected outcome (and asserted): the
+hash directory's O(1) probes beat the B+ tree, which beats the list —
+with behaviour (coverage, trace entries) identical across all four.
+"""
+
+from repro.core import ReplayConfig
+from repro.pin import Pin, TeaReplayTool
+
+KINDS = ("list", "sorted", "bptree", "hash")
+
+
+def _sweep(runner, name):
+    trace_set = runner.dbt(name, "mret").trace_set
+    program = runner.workload(name).program
+    rows = []
+    for kind in KINDS:
+        config = ReplayConfig(global_index=kind, local_cache=True)
+        tool = TeaReplayTool(trace_set=trace_set, config=config)
+        result = Pin(program, tool=tool).run()
+        rows.append((kind, result.cycles, tool.coverage,
+                     result.cost.breakdown.get("directory", 0.0)))
+    return rows
+
+
+def test_lookup_structure_sweep(runner, benchmark):
+    name = "176.gcc" if "176.gcc" in runner.config.benchmarks else \
+        runner.config.benchmarks[0]
+    rows = benchmark.pedantic(_sweep, args=(runner, name), rounds=1,
+                              iterations=1)
+    native = runner.native(name)
+    n_traces = len(runner.dbt(name, "mret").trace_set)
+    print("\nlookup-structure sweep on %s (%d traces):" % (name, n_traces))
+    print("%-8s %10s %12s %10s" % ("kind", "slowdown", "dir cycles",
+                                   "coverage"))
+    by_kind = {}
+    for kind, cycles, coverage, directory_cycles in rows:
+        by_kind[kind] = (cycles, coverage, directory_cycles)
+        print("%-8s %9.2fx %12.0f %9.1f%%"
+              % (kind, cycles / native.cycles, directory_cycles,
+                 100 * coverage))
+
+    coverages = {round(v[1], 9) for v in by_kind.values()}
+    assert len(coverages) == 1, "structures must not change behaviour"
+    # Directory work ordering: hash <= bptree; bptree <= list when the
+    # trace population is big enough for the scan to hurt.
+    assert by_kind["hash"][2] <= by_kind["bptree"][2]
+    if n_traces >= 120:
+        assert by_kind["bptree"][2] < by_kind["list"][2]
+        assert by_kind["hash"][0] <= by_kind["list"][0]

@@ -1,0 +1,52 @@
+"""Ablation: the MRET hot threshold (Dynamo's knob, ~50 by default).
+
+Sweeps the start-of-trace counter threshold and reports trace count,
+TEA size and recording-run coverage: low thresholds trace eagerly (more
+traces, more cold paths promoted), high thresholds shrink the trace set
+and delay coverage — the classic trade-off behind Duesterwald & Bala's
+"less is more".
+"""
+
+from repro.core import MemoryModel
+from repro.dbt import StarDBT
+from repro.traces.recorder import RecorderLimits
+
+THRESHOLDS = (5, 15, 30, 60, 120)
+
+
+def _sweep(runner, name):
+    program = runner.workload(name).program
+    model = MemoryModel()
+    rows = []
+    for threshold in THRESHOLDS:
+        result = StarDBT(
+            program, strategy="mret",
+            limits=RecorderLimits(hot_threshold=threshold),
+        ).run()
+        tea_kb = model.tea_total_bytes(result.trace_set) / 1024.0
+        rows.append((threshold, len(result.trace_set),
+                     result.trace_set.n_tbbs, tea_kb, result.coverage))
+    return rows
+
+
+def test_hot_threshold_sweep(runner, benchmark):
+    name = "300.twolf" if "300.twolf" in runner.config.benchmarks else \
+        runner.config.benchmarks[-1]
+    rows = benchmark.pedantic(_sweep, args=(runner, name), rounds=1,
+                              iterations=1)
+    print("\nhot-threshold sweep on %s:" % name)
+    print("%10s %8s %8s %10s %10s" % ("threshold", "traces", "tbbs",
+                                      "TEA KB", "coverage"))
+    for threshold, traces, tbbs, tea_kb, coverage in rows:
+        print("%10d %8d %8d %10.1f %9.1f%%"
+              % (threshold, traces, tbbs, tea_kb, 100 * coverage))
+
+    counts = [row[1] for row in rows]
+    coverages = [row[4] for row in rows]
+    # Eager tracing covers more of the recording run, monotonically...
+    assert all(a >= b - 0.01 for a, b in zip(coverages, coverages[1:]))
+    assert coverages[0] > coverages[-1] + 0.05
+    # ...while very high thresholds end up with clearly fewer traces
+    # (the middle of the sweep may wobble: an early big trace can absorb
+    # blocks that would otherwise become separate heads).
+    assert counts[0] > counts[-1]

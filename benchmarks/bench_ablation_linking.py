@@ -1,0 +1,53 @@
+"""Ablation: explicit trace-to-trace transitions in the automaton.
+
+The paper's implementation resolves trace-to-trace control flow through
+the local cache + global directory (that is what Table 4 measures);
+Algorithm 1 *could* instead materialise statically known cross-trace
+edges as explicit DFA transitions — the automaton analogue of DBT trace
+linking.  This bench measures what that buys: explicit links convert
+slow-path exits into fast-path transitions, at a small size cost.
+"""
+
+from repro.core import MemoryModel, ReplayConfig
+from repro.pin import Pin, TeaReplayTool
+
+
+def _run(runner, name, link_traces):
+    trace_set = runner.dbt(name, "mret").trace_set
+    tool = TeaReplayTool(trace_set=trace_set,
+                         config=ReplayConfig.global_local(),
+                         link_traces=link_traces)
+    result = Pin(runner.workload(name).program, tool=tool).run()
+    return result, tool
+
+
+def test_explicit_linking_ablation(runner, benchmark):
+    name = "176.gcc" if "176.gcc" in runner.config.benchmarks else \
+        runner.config.benchmarks[0]
+
+    def both():
+        return _run(runner, name, False), _run(runner, name, True)
+
+    (unlinked, unlinked_tool), (linked, linked_tool) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    native = runner.native(name)
+    model = MemoryModel()
+    print("\nexplicit trace linking on %s:" % name)
+    for label, result, tool in (
+        ("dynamic (paper)", unlinked, unlinked_tool),
+        ("explicit links", linked, linked_tool),
+    ):
+        print("  %-16s slowdown %6.2fx  in-trace hits %8d  "
+              "exits %8d  TEA %6.1f KB"
+              % (label, result.cycles / native.cycles,
+                 tool.stats.in_trace_hits, tool.stats.trace_exits,
+                 model.tea_bytes_for_automaton(tool.tea) / 1024.0))
+
+    assert linked_tool.stats.in_trace_hits >= unlinked_tool.stats.in_trace_hits
+    assert linked_tool.stats.trace_exits <= unlinked_tool.stats.trace_exits
+    assert linked.cycles <= unlinked.cycles
+    assert linked_tool.tea.n_transitions >= unlinked_tool.tea.n_transitions
+    # Coverage must be identical: linking is a fast path, not a semantic
+    # change.
+    assert abs(linked_tool.coverage - unlinked_tool.coverage) < 1e-9

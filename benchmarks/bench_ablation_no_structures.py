@@ -1,0 +1,39 @@
+"""Ablation: the configuration the paper could not even measure.
+
+Section 4.2: "the first TEA implementation employed no auxiliary data
+structures ... the numbers for this particular experiment (which would
+be the 'No Global / No Local' column in Table 4) were not collected
+since the slowdown was over 2 orders of magnitude from the native
+execution."  We *can* collect it: every NTE-side probe scans the entire
+linked list of traces.
+"""
+
+from repro.core import ReplayConfig
+from repro.pin import Pin, TeaReplayTool
+
+
+def _run(runner, name):
+    trace_set = runner.dbt(name, "mret").trace_set
+    tool = TeaReplayTool(trace_set=trace_set,
+                         config=ReplayConfig.no_global_no_local())
+    result = Pin(runner.workload(name).program, tool=tool).run()
+    return result, tool
+
+
+def test_no_global_no_local_is_pathological(runner, benchmark):
+    name = "176.gcc"
+    if name not in runner.config.benchmarks:
+        name = runner.config.benchmarks[0]
+    result, tool = benchmark.pedantic(
+        _run, args=(runner, name), rounds=1, iterations=1
+    )
+    native = runner.native(name)
+    best, _ = runner.replay(name, "global_local")
+    slowdown = result.cycles / native.cycles
+    print("\n%s  No Global / No Local: %.1fx native "
+          "(Global/Local: %.1fx; %d traces, %d list elements scanned)"
+          % (name, slowdown, best.cycles / native.cycles,
+             len(runner.dbt(name, "mret").trace_set),
+             tool.replayer.directory.elements_scanned))
+    assert slowdown > 2.5 * (best.cycles / native.cycles)
+    assert tool.replayer.directory.elements_scanned > 10 * tool.stats.blocks

@@ -1,0 +1,118 @@
+"""Micro-benchmarks of the load-bearing components.
+
+Classic pytest-benchmark timing (multiple rounds) of the pieces whose
+speed bounds every experiment: the interpreter, the B+ tree probe, the
+replayer's step function, and Algorithm 1 construction.
+"""
+
+import pytest
+
+from repro.core import ReplayConfig, TeaReplayer, build_tea
+from repro.cpu import Executor
+from repro.isa import assemble
+from repro.structures import BPlusTree
+from repro.workloads import load_benchmark
+
+_LOOP = assemble("""
+main:
+    mov ecx, 20000
+loop:
+    add eax, 3
+    xor eax, 7
+    imul edx, 5
+    dec ecx
+    jnz loop
+    hlt
+""")
+
+
+def test_executor_throughput(benchmark):
+    result = benchmark(lambda: Executor(_LOOP).run(None))
+    assert result.halted
+
+
+def test_executor_with_events(benchmark):
+    sink = []
+
+    def run():
+        sink.clear()
+        return Executor(_LOOP).run(lambda e: None)
+
+    result = benchmark(run)
+    assert result.halted
+
+
+@pytest.fixture(scope="module")
+def big_tree():
+    tree = BPlusTree(order=16)
+    for key in range(0, 200_000, 7):
+        tree.insert(key, key)
+    return tree
+
+
+def test_bptree_search(benchmark, big_tree):
+    def probe():
+        total = 0
+        for key in range(0, 20_000, 13):
+            value, visited = big_tree.search(key)
+            total += visited
+        return total
+
+    assert benchmark(probe) > 0
+
+
+def test_bptree_insert(benchmark):
+    def build():
+        tree = BPlusTree(order=16)
+        for key in range(5_000):
+            tree.insert(key * 3, key)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == 5_000
+
+
+@pytest.fixture(scope="module")
+def replay_setup():
+    from repro.dbt import StarDBT
+    from repro.traces.recorder import RecorderLimits
+    workload = load_benchmark("164.gzip", scale=0.5)
+    result = StarDBT(workload.program,
+                     limits=RecorderLimits(hot_threshold=10)).run()
+    tea = build_tea(result.trace_set)
+    labels = [trace.entry for trace in result.trace_set] * 200
+    return tea, labels
+
+
+def test_replayer_step_throughput(benchmark, replay_setup):
+    tea, labels = replay_setup
+
+    class _T:
+        __slots__ = ("next_start", "instrs_dbt", "instrs_pin", "block")
+
+        def __init__(self, next_start):
+            self.next_start = next_start
+            self.instrs_dbt = 4
+            self.instrs_pin = 4
+            self.block = None
+
+    transitions = [_T(label) for label in labels]
+
+    def run():
+        replayer = TeaReplayer(tea, config=ReplayConfig.global_local())
+        for transition in transitions:
+            replayer.step(transition)
+        return replayer.stats.blocks
+
+    assert benchmark(run) == len(labels)
+
+
+def test_algorithm1_build(benchmark, replay_setup):
+    from repro.dbt import StarDBT
+    from repro.traces.recorder import RecorderLimits
+    workload = load_benchmark("164.gzip", scale=0.5)
+    trace_set = StarDBT(workload.program,
+                        limits=RecorderLimits(hot_threshold=10)).run().trace_set
+
+    tea = benchmark(lambda: build_tea(trace_set))
+    assert tea.n_states == 1 + trace_set.n_tbbs

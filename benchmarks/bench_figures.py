@@ -1,0 +1,40 @@
+"""Figures 1-3: regenerate the paper's worked examples and check their
+exact structure (states, transitions, NTE behaviour)."""
+
+from repro.harness.figures import (
+    figure1_traces,
+    figure3_tea,
+    render_all,
+)
+
+
+def test_figures_render(benchmark):
+    text = benchmark.pedantic(render_all, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert "Figure 1(b)" in text
+    assert "digraph cfg" in text
+    assert "digraph tea" in text
+
+
+def test_figure1_structure(benchmark):
+    program, trace_set, duplicated = benchmark.pedantic(
+        figure1_traces, rounds=1, iterations=1
+    )
+    trace = trace_set.traces[0]
+    assert len(trace) == 1 and trace.n_edges == 1  # the cycle edge
+    assert len(duplicated.traces[0]) == 2
+
+
+def test_figure3_structure(benchmark):
+    program, trace_set, tea = benchmark.pedantic(
+        figure3_tea, rounds=1, iterations=1
+    )
+    # NTE + $$T1.{begin,header,next} + $$T2.{inc,next}
+    assert tea.n_states == 6
+    assert tea.n_traces == 2
+    # T1's cycle: next -> header; T1 has begin->header, header->next too.
+    t1 = trace_set.traces[0]
+    header = t1.tbbs[1].block.start
+    assert tea.state_for(t1.tbbs[2]).transitions[header] is \
+        tea.state_for(t1.tbbs[1])

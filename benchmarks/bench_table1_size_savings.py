@@ -1,0 +1,40 @@
+"""Table 1: memory to represent traces — DBT replication vs TEA.
+
+Regenerates the paper's Table 1 (MRET / CTT / TT columns, KB sizes,
+savings percentages with a GeoMean row) and checks the headline claims:
+
+- savings around 80% for every strategy (paper band: 73-86%);
+- the TT explosion on branchy integer codes (gzip/bzip2 >> their MRET);
+- CTT sitting between MRET and TT there, and above MRET on FP codes.
+"""
+
+from repro.harness.reporting import geomean
+from repro.harness.tables import table1
+
+
+def _build(runner):
+    return table1(runner)
+
+
+def test_table1(runner, benchmark):
+    table = benchmark.pedantic(_build, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    savings = []
+    for row in table.rows:
+        savings.extend([row[3], row[6], row[9]])
+    overall = geomean(savings)
+    assert 0.70 <= overall <= 0.90, "savings out of the paper's band"
+    assert all(0.55 <= value <= 0.95 for value in savings)
+
+    by_name = {row[0]: row for row in table.rows}
+    for name in ("164.gzip", "256.bzip2"):
+        if name in by_name:
+            row = by_name[name]
+            mret_kb, ctt_kb, tt_kb = row[1], row[4], row[7]
+            assert tt_kb > 20 * mret_kb, "%s: TT must explode" % name
+            assert mret_kb < ctt_kb < tt_kb, name
+    if "171.swim" in by_name:
+        row = by_name["171.swim"]
+        assert row[7] < row[1] < row[4], "swim: TT < MRET < CTT"

@@ -1,0 +1,54 @@
+"""Table 4: TEA overhead across transition-function configurations.
+
+Checks the paper's Section 4.2 findings, all of which are emergent from
+counted data-structure work in this reproduction:
+
+- bare Pin is a small multiple of native (paper geomean 1.5x);
+- "Empty" is the *slowest* TEA configuration (paper's counter-intuitive
+  result: with no traces, every block takes the slow path);
+- Global/Local is the best full configuration (paper geomean 13.53x);
+- dropping the local cache hurts (Global/NoLocal > Global/Local);
+- dropping the B+ tree hurts trace-heavy benchmarks catastrophically
+  (gcc/vortex blow up under No Global, as in the paper).
+"""
+
+from repro.harness.reporting import geomean
+from repro.harness.tables import table4
+
+
+def _build(runner):
+    return table4(runner)
+
+
+def test_table4(runner, benchmark):
+    table = benchmark.pedantic(_build, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    columns = list(zip(*table.rows))
+    names, native, bare, empty, ngl, gnl, gl = columns
+    bare_geo = geomean(bare)
+    empty_geo = geomean(empty)
+    gl_geo = geomean(gl)
+    gnl_geo = geomean(gnl)
+
+    assert 1.0 < bare_geo < 4.0
+    assert 5.0 < gl_geo < 35.0
+    assert empty_geo > gl_geo, "Empty must be slower than Global/Local"
+    assert gnl_geo > gl_geo, "the local cache must help on average"
+
+    by_name = dict(zip(names, table.rows))
+    for heavy in ("176.gcc", "255.vortex"):
+        if heavy not in by_name:
+            continue
+        # The linked-list pathology needs a big trace population; at
+        # reduced bench scale only gcc is guaranteed to have one.
+        n_traces = len(runner.dbt(heavy, "mret").trace_set)
+        if n_traces < 120:
+            continue
+        row = by_name[heavy]
+        no_global, best = row[4], row[6]
+        assert no_global > 1.3 * best, (
+            "%s: linked-list scan must blow up (%d traces)"
+            % (heavy, n_traces)
+        )

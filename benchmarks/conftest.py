@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+By default the table benches run a representative 8-benchmark subset at
+scale 2 so ``pytest benchmarks/ --benchmark-only`` completes in a few
+minutes.  Set ``REPRO_BENCH_FULL=1`` for all 26 benchmarks at the paper
+scale (4.0) — the configuration EXPERIMENTS.md reports.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import HarnessConfig, Runner
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Two FP + six INT benchmarks covering every workload archetype.
+SUBSET = [
+    "171.swim",
+    "189.lucas",
+    "164.gzip",
+    "176.gcc",
+    "253.perlbmk",
+    "255.vortex",
+    "256.bzip2",
+    "300.twolf",
+]
+
+
+def harness_config():
+    if FULL:
+        return HarnessConfig(scale=4.0, hot_threshold=30)
+    return HarnessConfig(scale=2.0, hot_threshold=30, benchmarks=SUBSET)
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared Runner: tables reuse each other's cached runs."""
+    return Runner(harness_config())

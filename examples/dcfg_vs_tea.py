@@ -1,0 +1,62 @@
+"""Section 3's contrast, measured: DCFG (code) vs TEA (states).
+
+"The TEA is logically similar to the dynamic control flow graph (DCFG)
+for the traces ... TEA, however, contains just the state information,
+whereas the DCFG contains code replication.  TEA also models the whole
+program execution with the aid of the NTE state, while the DCFG only
+represents the hot code."
+
+This example collects the whole-program DCFG of a benchmark run, records
+MRET traces, and puts the two representations side by side.
+
+Run:  python examples/dcfg_vs_tea.py
+"""
+
+from repro import Pin, StarDBT, build_tea
+from repro.analysis import DcfgTool, compare_with_tea
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import load_benchmark
+
+BENCHMARK = "186.crafty"
+
+
+def main():
+    workload = load_benchmark(BENCHMARK, scale=1.0)
+    program = workload.program
+
+    # Collect the dynamic CFG of the run under MiniPin.
+    tool = DcfgTool()
+    result = Pin(program, tool=tool).run()
+    dcfg = tool.dcfg
+    print("%s: %d instructions executed" % (BENCHMARK, result.instrs_dbt))
+    print("dynamic CFG: %d executed blocks, %d executed edges"
+          % (dcfg.n_nodes, dcfg.n_edges))
+    print("hottest blocks:")
+    for node in dcfg.hottest_nodes(5):
+        print("  %#x..%#x  x%d"
+              % (node.block.start, node.block.end, node.executions))
+
+    # Record traces and build the TEA for the same run.
+    recorded = StarDBT(program, strategy="mret",
+                       limits=RecorderLimits(hot_threshold=20)).run()
+    tea = build_tea(recorded.trace_set)
+    comparison = compare_with_tea(dcfg, recorded.trace_set)
+
+    print("\nrepresentation comparison:")
+    print("  DCFG with code      %8.1f KB  (%d nodes, %d edges)"
+          % (comparison["dcfg_bytes"] / 1024, comparison["dcfg_nodes"],
+             comparison["dcfg_edges"]))
+    print("  TEA (states only)   %8.1f KB  (%d states incl. NTE)"
+          % (comparison["tea_bytes"] / 1024, comparison["tea_states"]))
+    print("  TEA / DCFG          %8.2f" % comparison["tea_over_dcfg"])
+    print("\nand unlike the DCFG, the TEA models the *whole* program: the "
+          "NTE state absorbs every PC outside the %d traces."
+          % len(recorded.trace_set))
+
+    hot = dcfg.hot_subgraph(min_executions=50)
+    print("\nhot subgraph (>=50 executions): %d of %d blocks — the part a "
+          "trace DCFG would represent" % (len(hot), dcfg.n_nodes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Persisting trace shape + profile for reuse (the paper's third use).
+
+"Storing trace shape and profiling information for reuse in future
+executions."  A long-running optimizer wants profile confidence built up
+over many runs before committing to aggressive transformations.  This
+example:
+
+1. run 1 records traces, replays them with profiling, and saves a TEA
+   document (shape + counters) to disk;
+2. runs 2..N each load the document, replay with a fresh profile, merge
+   it into the accumulated one, and save again;
+3. the final accumulated profile drives a decision: which traces are
+   stable enough (low exit ratio, high weight) to optimize.
+
+Run:  python examples/persistent_profiles.py
+"""
+
+import os
+import tempfile
+
+from repro import Pin, ReplayConfig, StarDBT, TeaProfile, TeaReplayTool
+from repro.cfg.basic_block import BlockIndex
+from repro.core.serialization import load_tea, save_tea
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import load_benchmark
+
+BENCHMARK = "300.twolf"
+RUNS = 3
+
+
+def replay_with_profile(program, trace_set):
+    profile = TeaProfile()
+    tool = TeaReplayTool(trace_set=trace_set,
+                         config=ReplayConfig.global_local(), profile=profile)
+    Pin(program, tool=tool).run()
+    return tool, profile
+
+
+def main():
+    workload = load_benchmark(BENCHMARK, scale=1.0)
+    program = workload.program
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "tea_with_profile.json")
+
+        # -- run 1: record, profile, persist ----------------------------
+        recorded = StarDBT(program, strategy="mret",
+                           limits=RecorderLimits(hot_threshold=20)).run()
+        tool, profile = replay_with_profile(program, recorded.trace_set)
+        save_tea(path, recorded.trace_set, tea=tool.tea, profile=profile)
+        print("run 1: recorded %d traces, saved shape+profile (%d bytes)"
+              % (len(recorded.trace_set), os.path.getsize(path)))
+
+        # -- runs 2..N: load, replay, merge, persist ---------------------
+        for run in range(2, RUNS + 1):
+            trace_set, tea, accumulated = load_tea(
+                path, BlockIndex(program)
+            )
+            tool, fresh = replay_with_profile(program, trace_set)
+            # State ids are deterministic for a given trace set, so the
+            # fresh profile merges directly into the accumulated one.
+            accumulated.merge(fresh)
+            save_tea(path, trace_set, tea=tool.tea, profile=accumulated)
+            total = sum(accumulated.state_counts.values())
+            print("run %d: merged; accumulated block executions: %d"
+                  % (run, total))
+
+        # -- the decision the profile pays for ---------------------------
+        trace_set, tea, accumulated = load_tea(path, BlockIndex(program))
+        print("\noptimization candidates after %d runs:" % RUNS)
+        ranked = []
+        for trace in trace_set:
+            weight = accumulated.trace_head_executions.get(trace.trace_id, 0)
+            ratio = accumulated.exit_ratio(trace.trace_id)
+            ranked.append((weight, ratio, trace))
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        for weight, ratio, trace in ranked[:5]:
+            stable = ratio < 0.25
+            print("  T%-3d entry %#x  weight %6d  exit ratio %.2f  -> %s"
+                  % (trace.trace_id, trace.entry, weight, ratio,
+                     "OPTIMIZE" if stable and weight > 100 else "leave"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The Section 4.2 story, replayed on one trace-heavy benchmark.
+
+Shows how TEA's transition-function data structures determine its
+overhead on a gcc-like workload (many traces): plain linked list,
+global B+ tree, per-state local cache, and their combinations — plus the
+configuration the paper "could not even measure" (no global index, no
+local cache: over two orders of magnitude slower than native on gcc).
+
+Run:  python examples/transition_function_ablation.py
+"""
+
+from repro import Pin, ReplayConfig, StarDBT, TeaReplayTool, run_native
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import load_benchmark
+
+BENCHMARK = "176.gcc"
+
+CONFIGS = [
+    ("Empty (no traces)", None),
+    ("No Global / No Local", ReplayConfig.no_global_no_local()),
+    ("No Global / Local", ReplayConfig.no_global_local()),
+    ("Global / No Local", ReplayConfig.global_no_local()),
+    ("Global / Local", ReplayConfig.global_local()),
+]
+
+
+def main():
+    workload = load_benchmark(BENCHMARK, scale=1.5)
+    recorded = StarDBT(workload.program, strategy="mret",
+                       limits=RecorderLimits(hot_threshold=20)).run()
+    native = run_native(workload.program)
+    print("%s: %d traces recorded; native run %.1f Mcycles\n"
+          % (BENCHMARK, len(recorded.trace_set), native.megacycles))
+    print("%-24s %10s %12s %12s %12s" % (
+        "configuration", "slowdown", "cache hits", "dir probes",
+        "probe work"))
+
+    for label, config in CONFIGS:
+        if config is None:
+            tool = TeaReplayTool(trace_set=None)
+        else:
+            tool = TeaReplayTool(trace_set=recorded.trace_set, config=config)
+        result = Pin(workload.program, tool=tool).run()
+        stats = tool.stats
+        directory = tool.replayer.directory
+        work = getattr(directory, "nodes_visited", None)
+        if work is None:
+            work = directory.elements_scanned
+        print("%-24s %9.1fx %12d %12d %12d" % (
+            label,
+            result.cycles / native.cycles,
+            stats.cache_hits,
+            stats.directory_hits + stats.directory_misses,
+            work,
+        ))
+
+    print("\nThe linked-list configurations scan every trace per probe "
+          "(work ~ #traces x probes); the B+ tree visits O(log n) nodes; "
+          "the local cache removes most probes entirely — the Table 4 "
+          "ordering, emergent from counted data-structure work.")
+
+
+if __name__ == "__main__":
+    main()

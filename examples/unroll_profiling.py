@@ -1,0 +1,78 @@
+"""Section 2's motivation: profiling an unrolled trace via duplication.
+
+A TEA cannot simulate an *unrolled* trace (the unrolled instructions do
+not exist in the executable), but it can simulate a **duplicated** trace:
+the same original addresses, one automaton state per copy.  The per-copy
+profile then maps one-to-one onto the unrolled trace's instructions —
+"instructions (C) and (D) in Figure 1(d) are the same as instructions
+(5) and (6) in Figure 1(c)".
+
+This example records the Figure 1 memcpy loop, duplicates its trace by
+the unroll factor, replays, and prints the per-copy profile an optimizer
+would feed into the unrolled loop.
+
+Run:  python examples/unroll_profiling.py
+"""
+
+from repro import Pin, ReplayConfig, TeaProfile, TeaReplayTool
+from repro.core.duplication import duplicate_in_set
+from repro.harness.figures import figure1_traces
+from repro.optimize import annotate_unrolled
+
+UNROLL_FACTOR = 2
+
+
+def replay_with_profile(program, trace_set):
+    profile = TeaProfile()
+    tool = TeaReplayTool(trace_set=trace_set,
+                         config=ReplayConfig.global_local(),
+                         profile=profile)
+    Pin(program, tool=tool).run()
+    return tool, profile
+
+
+def main():
+    program, original_set, _ = figure1_traces()
+    trace = original_set.traces[0]
+    print("Figure 1(b) trace: %d block, cycle edge back to itself"
+          % len(trace))
+
+    # -- plain trace: one counter for the whole loop body --------------
+    tool, profile = replay_with_profile(program, original_set)
+    state = tool.tea.state_for(trace.tbbs[0])
+    print("\nplain trace profile:")
+    print("  %-24s %d executions" % (state.name,
+                                     profile.count_for(state)))
+    print("  -> after unrolling by %d the optimizer could only "
+          "conservatively split this count" % UNROLL_FACTOR)
+
+    # -- duplicated trace: per-copy counters ---------------------------
+    duplicated_set = duplicate_in_set(original_set, trace.entry,
+                                      factor=UNROLL_FACTOR)
+    duplicated = duplicated_set.traces[0]
+    tool, profile = replay_with_profile(program, duplicated_set)
+    print("\nduplicated trace (Figure 1(d)) profile:")
+    for copy in range(UNROLL_FACTOR):
+        tbb = duplicated.tbbs[copy]
+        state = tool.tea.state_for(tbb)
+        print("  copy %d  %-24s %d executions"
+              % (copy, state.name + "#%d" % tbb.index,
+                 profile.count_for(state)))
+    print("\nEach copy's counter labels the corresponding body of the "
+          "unrolled loop: the optimizer can now specialize per copy "
+          "(e.g. alias information for even vs odd iterations) instead "
+          "of propagating one conservative summary.")
+
+    assert tool.coverage > 0.9, "duplication must not lose coverage"
+    print("\ncoverage with the duplicated trace: %.1f%% (unchanged)"
+          % (100 * tool.coverage))
+
+    # -- the optimizer-facing artifact ----------------------------------
+    report = annotate_unrolled(program, duplicated, tool.tea, profile)
+    print("\n" + report.to_text(program))
+    print("\ncopy balance: %.2f (1.0 = trip count divides evenly by the "
+          "unroll factor)" % report.imbalance())
+
+
+if __name__ == "__main__":
+    main()

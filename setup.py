@@ -1,0 +1,9 @@
+"""Setuptools shim so ``pip install -e .`` works without network access.
+
+All project metadata lives in pyproject.toml; this file only exists to let
+pip take the legacy (non-isolated) build path in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

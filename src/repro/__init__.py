@@ -1,0 +1,96 @@
+"""TEA: Trace Execution Automata in Dynamic Binary Translation.
+
+A full, from-scratch reproduction of Porto, Araujo, Borin & Wu's TEA
+paper: trace recording strategies (MRET / MFET / TT / CTT), the TEA
+automaton with Algorithm 1 (offline construction) and Algorithm 2
+(online recording), the optimised transition function of Section 4.2
+(global B+ tree directory + per-state local caches), and the two host
+environments the paper uses — a StarDBT-like translator baseline and a
+Pin-like instrumentation engine — all running on a small x86-flavoured
+ISA with its own assembler and interpreter.
+
+Quickstart::
+
+    from repro import assemble, StarDBT, Pin, TeaReplayTool, build_tea
+
+    program = assemble(SOURCE)
+    recorded = StarDBT(program, strategy="mret").run()
+    tool = TeaReplayTool(trace_set=recorded.trace_set)
+    result = Pin(program, tool=tool).run()
+    print(tool.coverage, result.megacycles)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and ``python -m repro.harness all`` for the paper's tables.
+"""
+
+from repro.core import (
+    TEA,
+    MemoryModel,
+    OnlineTeaRecorder,
+    ReplayConfig,
+    TeaProfile,
+    TeaReplayer,
+    build_tea,
+    duplicate_trace,
+    load_tea,
+    save_tea,
+)
+from repro.cpu import Executor, Machine, run_program
+from repro.dbt import CodeCache, CostModel, CostParameters, StarDBT
+from repro.errors import ReproError
+from repro.isa import Program, assemble
+from repro.pin import Pin, Pintool, TeaRecordTool, TeaReplayTool, run_native
+from repro.traces import (
+    STRATEGIES,
+    TraceSet,
+    load_trace_set,
+    make_recorder,
+    save_trace_set,
+)
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import BENCHMARKS, load_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # ISA + CPU
+    "assemble",
+    "Program",
+    "Machine",
+    "Executor",
+    "run_program",
+    # traces
+    "TraceSet",
+    "STRATEGIES",
+    "make_recorder",
+    "RecorderLimits",
+    "save_trace_set",
+    "load_trace_set",
+    # TEA core
+    "TEA",
+    "build_tea",
+    "TeaReplayer",
+    "ReplayConfig",
+    "OnlineTeaRecorder",
+    "TeaProfile",
+    "MemoryModel",
+    "duplicate_trace",
+    "save_tea",
+    "load_tea",
+    # engines
+    "StarDBT",
+    "CodeCache",
+    "CostModel",
+    "CostParameters",
+    "Pin",
+    "Pintool",
+    "TeaReplayTool",
+    "TeaRecordTool",
+    "run_native",
+    # workloads
+    "BENCHMARKS",
+    "load_benchmark",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,54 @@
+"""Coverage accounting helpers.
+
+Coverage — the fraction of dynamic instructions executed "inside the
+traces" — is the paper's Tables 2/3 headline metric.  Because StarDBT and
+Pin count instructions differently (Section 4.1: REP-prefixed ops count
+once vs once-per-iteration), a coverage number is only meaningful
+together with its counting semantics; :class:`CoverageReport` keeps both.
+"""
+
+
+class CoverageReport:
+    """Covered/total instruction counts under both counting semantics."""
+
+    __slots__ = ("covered_dbt", "total_dbt", "covered_pin", "total_pin")
+
+    def __init__(self, covered_dbt=0, total_dbt=0, covered_pin=0, total_pin=0):
+        self.covered_dbt = covered_dbt
+        self.total_dbt = total_dbt
+        self.covered_pin = covered_pin
+        self.total_pin = total_pin
+
+    @classmethod
+    def from_replay_stats(cls, stats):
+        return cls(
+            covered_dbt=stats.covered_dbt,
+            total_dbt=stats.total_dbt,
+            covered_pin=stats.covered_pin,
+            total_pin=stats.total_pin,
+        )
+
+    def fraction(self, pin_counting=True):
+        covered = self.covered_pin if pin_counting else self.covered_dbt
+        total = self.total_pin if pin_counting else self.total_dbt
+        return covered / total if total else 0.0
+
+    def merge(self, other):
+        self.covered_dbt += other.covered_dbt
+        self.total_dbt += other.total_dbt
+        self.covered_pin += other.covered_pin
+        self.total_pin += other.total_pin
+
+    @staticmethod
+    def format_percent(fraction):
+        """Paper-style rendering: '100%' when saturated, else one decimal."""
+        percent = 100.0 * fraction
+        if percent >= 99.95:
+            return "100%"
+        return "%.1f%%" % percent
+
+    def __repr__(self):
+        return "<CoverageReport pin=%.3f dbt=%.3f>" % (
+            self.fraction(True),
+            self.fraction(False),
+        )

@@ -1,0 +1,34 @@
+"""Basic blocks and control-flow graphs.
+
+Two distinct views exist, as in the paper:
+
+- *Dynamic* basic blocks (:mod:`repro.cfg.builder`) are discovered from the
+  executed edge stream.  StarDBT identifies a block as "starting at an
+  address which is target of a branching instruction and ending in a branch
+  instruction"; Pin additionally splits blocks at ``cpuid`` and
+  REP-prefixed instructions (Section 4.1).  Both flavours are implemented.
+- The *static* CFG (:mod:`repro.cfg.cfg`) is decoded from the program image
+  and is used for loop-header detection (Trace Tree anchors) and for
+  Algorithm 1's successor computation.
+"""
+
+from repro.cfg.basic_block import BasicBlock, BlockIndex
+from repro.cfg.builder import (
+    FLAVOR_PIN,
+    FLAVOR_STARDBT,
+    DynamicBlockBuilder,
+)
+from repro.cfg.cfg import ControlFlowGraph, build_cfg
+from repro.cfg.loops import LoopInfo, find_loops
+
+__all__ = [
+    "BasicBlock",
+    "BlockIndex",
+    "DynamicBlockBuilder",
+    "FLAVOR_STARDBT",
+    "FLAVOR_PIN",
+    "ControlFlowGraph",
+    "build_cfg",
+    "LoopInfo",
+    "find_loops",
+]

@@ -1,0 +1,82 @@
+"""Natural-loop detection over the static CFG.
+
+Loop headers drive the Trace Tree family: TT anchors trees at loop
+headers, and CTT terminates a recorded path at *any* loop header already
+on the path.  Headers are found the classical way: compute dominators from
+the CFG entry, then every edge ``u -> v`` where ``v`` dominates ``u`` is a
+back edge and ``v`` a loop header.  The loop body is collected by the
+usual reverse reachability walk from the back-edge sources.
+"""
+
+import networkx as nx
+
+
+class LoopInfo:
+    """Loop structure of one CFG.
+
+    Attributes
+    ----------
+    headers:
+        Set of loop-header block start addresses.
+    bodies:
+        Mapping header -> set of block starts forming the natural loop
+        (header included).
+    back_edges:
+        List of ``(tail, header)`` block-start pairs.
+    """
+
+    def __init__(self, headers, bodies, back_edges):
+        self.headers = headers
+        self.bodies = bodies
+        self.back_edges = back_edges
+
+    def is_header(self, start):
+        return start in self.headers
+
+    def loop_depth(self, start):
+        """Number of natural loops containing ``start`` (0 = not in a loop)."""
+        return sum(1 for body in self.bodies.values() if start in body)
+
+    def __repr__(self):
+        return "<LoopInfo %d headers>" % len(self.headers)
+
+
+def find_loops(cfg):
+    """Return :class:`LoopInfo` for a :class:`~repro.cfg.cfg.ControlFlowGraph`."""
+    graph = cfg.graph
+    entry = cfg.entry
+    if entry not in graph:
+        return LoopInfo(set(), {}, [])
+    reachable = set(nx.descendants(graph, entry)) | {entry}
+    subgraph = graph.subgraph(reachable)
+    idom = nx.immediate_dominators(subgraph, entry)
+
+    def dominates(a, b):
+        """True when block ``a`` dominates block ``b``."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom.get(node)
+            if parent is None or parent == node:
+                return a == node
+            node = parent
+
+    back_edges = []
+    for u, v in subgraph.edges():
+        if dominates(v, u):
+            back_edges.append((u, v))
+
+    headers = set()
+    bodies = {}
+    for tail, header in back_edges:
+        headers.add(header)
+        body = bodies.setdefault(header, {header})
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(subgraph.predecessors(node))
+    return LoopInfo(headers, bodies, back_edges)

@@ -1,0 +1,171 @@
+"""The TEA automaton.
+
+States and labelled transitions, exactly as Section 3 defines them:
+
+- one state per TBB (Definition 2 guarantees uniqueness), named
+  ``$$T<i>.<addr>`` like the paper's ``$$T1.next``;
+- the special **NTE** state, representing execution outside any trace;
+- transitions labelled with the program counter that triggers them
+  (the successor block's start address).
+
+Explicit transitions cover control flow *inside* traces (and, when the
+builder is asked to link traces, statically known trace-to-trace edges).
+Transitions into traces from NTE — Algorithm 1's lines 15-17 — are kept
+as the ``heads`` registry: a mapping from trace entry address to head
+state.  The replayer's transition function materialises those NTE edges
+through its lookup directory, which is precisely the data structure
+Section 4.2 ablates.  Transitions *to* NTE are the default for any label
+with no explicit edge, as in any DFA with a sink-like catch state.
+"""
+
+from repro.errors import TeaError
+
+#: State id reserved for NTE.
+NTE_SID = 0
+
+
+class TeaState:
+    """One automaton state: a TBB, or NTE when ``tbb`` is None."""
+
+    __slots__ = ("sid", "tbb", "transitions")
+
+    def __init__(self, sid, tbb=None):
+        self.sid = sid
+        self.tbb = tbb
+        self.transitions = {}
+
+    @property
+    def is_nte(self):
+        return self.tbb is None
+
+    @property
+    def name(self):
+        return "NTE" if self.tbb is None else self.tbb.name
+
+    @property
+    def trace_id(self):
+        return None if self.tbb is None else self.tbb.trace_id
+
+    def __repr__(self):
+        return "<TeaState %s %d transitions>" % (self.name, len(self.transitions))
+
+
+class TEA:
+    """The whole-program trace execution automaton."""
+
+    def __init__(self):
+        self.nte = TeaState(NTE_SID)
+        self.states = [self.nte]
+        self.heads = {}      # trace entry address -> head TeaState
+        self._by_tbb = {}    # (trace_id, index) -> TeaState
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_tbb_state(self, tbb):
+        """Create (or return) the state representing ``tbb``."""
+        key = (tbb.trace_id, tbb.index)
+        existing = self._by_tbb.get(key)
+        if existing is not None:
+            return existing
+        state = TeaState(len(self.states), tbb)
+        self.states.append(state)
+        self._by_tbb[key] = state
+        return state
+
+    def state_for(self, tbb):
+        """The state representing ``tbb``; raises if absent."""
+        try:
+            return self._by_tbb[(tbb.trace_id, tbb.index)]
+        except KeyError:
+            raise TeaError("no state for %s" % tbb.name) from None
+
+    def has_state_for(self, tbb):
+        return (tbb.trace_id, tbb.index) in self._by_tbb
+
+    def add_transition(self, source, label, destination):
+        """Add ``source --label--> destination``; enforces determinism."""
+        existing = source.transitions.get(label)
+        if existing is not None:
+            if existing is not destination:
+                raise TeaError(
+                    "nondeterministic transition from %s on %#x"
+                    % (source.name, label)
+                )
+            return
+        source.transitions[label] = destination
+
+    def register_head(self, trace, head_state):
+        """Record the NTE -> head transition for ``trace`` (lines 15-17)."""
+        entry = trace.entry
+        existing = self.heads.get(entry)
+        if existing is not None and existing is not head_state:
+            raise TeaError("conflicting head registration at %#x" % entry)
+        self.heads[entry] = head_state
+
+    # ------------------------------------------------------------------
+    # interrogation
+    # ------------------------------------------------------------------
+
+    @property
+    def n_states(self):
+        return len(self.states)
+
+    @property
+    def n_transitions(self):
+        return sum(len(state.transitions) for state in self.states)
+
+    @property
+    def n_traces(self):
+        return len(self.heads)
+
+    def next_state(self, state, label):
+        """Pure transition function (no caches, no cost accounting).
+
+        Used by tests and the figure renderer; the replayer implements
+        the optimised version with the Section 4.2 structures.
+        """
+        explicit = state.transitions.get(label)
+        if explicit is not None:
+            return explicit
+        head = self.heads.get(label)
+        if head is not None:
+            return head
+        return self.nte
+
+    def simulate(self, labels, start=None):
+        """Run the pure automaton over a PC label sequence; yields states."""
+        state = start if start is not None else self.nte
+        for label in labels:
+            state = self.next_state(state, label)
+            yield state
+
+    def to_dot(self):
+        """Graphviz rendering (Figure 3 style: NTE plus TBB states)."""
+        lines = [
+            "digraph tea {",
+            "  rankdir=TB;",
+            '  node [shape=ellipse, fontname=monospace];',
+            '  s0 [label="NTE", shape=doublecircle];',
+        ]
+        for state in self.states[1:]:
+            lines.append('  s%d [label="%s"];' % (state.sid, state.name))
+        for state in self.states:
+            for label, destination in sorted(state.transitions.items()):
+                lines.append(
+                    '  s%d -> s%d [label="%#x"];'
+                    % (state.sid, destination.sid, label)
+                )
+        for entry, head in sorted(self.heads.items()):
+            lines.append('  s0 -> s%d [label="%#x", style=dashed];'
+                         % (head.sid, entry))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<TEA states=%d transitions=%d traces=%d>" % (
+            self.n_states,
+            self.n_transitions,
+            self.n_traces,
+        )

@@ -1,0 +1,70 @@
+"""Algorithm 1: converting traces to TEA.
+
+The structure follows the paper line by line:
+
+1.  ``TEA.States <- {NTE}``; ``TEA.Transitions <- {}`` — a fresh
+    :class:`~repro.core.automaton.TEA` starts that way.
+2.  Lines 3-5: one state per TBB (Property 1: every TBB representable).
+3.  Lines 6-14: for each TBB, walk its successors; successors that are
+    trace blocks get explicit labelled transitions, others fall to NTE
+    (the automaton's default), giving Property 2.
+4.  Lines 15-17: register NTE -> trace-head transitions for every trace.
+
+``link_traces`` additionally materialises *statically known* trace-to-
+trace transitions (a side-exit address that is exactly another trace's
+entry).  The paper's implementation resolves those through the lookup
+directory + local cache instead, so the default is off; the ablation
+bench ``bench_ablation_linking`` measures what explicit linking buys.
+"""
+
+
+from repro.core.automaton import TEA
+
+
+def build_tea(trace_set, link_traces=False):
+    """Build the whole-program TEA for ``trace_set`` (Algorithm 1)."""
+    tea = TEA()
+    for trace in trace_set:
+        sync_trace(tea, trace)
+    if link_traces:
+        # Second pass so links can target traces added later in the set.
+        for trace in trace_set:
+            sync_trace(tea, trace, trace_set=trace_set, link_traces=True)
+    return tea
+
+
+def sync_trace(tea, trace, trace_set=None, link_traces=False):
+    """Add (or re-sync) one trace's states and transitions into ``tea``.
+
+    Idempotent: already-present states and transitions are kept, so the
+    online recorder calls this when a trace is committed, and tree-based
+    recorders call it again after extending a committed tree.
+    """
+    # Lines 3-5: states for every TBB.
+    for tbb in trace:
+        tea.add_tbb_state(tbb)
+
+    # Lines 6-14: transitions out of every TBB.
+    for tbb in trace:
+        source = tea.state_for(tbb)
+        for label, successor_index in tbb.successors.items():
+            destination = tea.state_for(trace.tbbs[successor_index])
+            tea.add_transition(source, label, destination)
+        if link_traces and trace_set is not None:
+            for label in tbb.exit_labels():
+                if label is None:
+                    continue
+                other = trace_set.trace_at(label)
+                if other is None or not tea.has_state_for(other.tbbs[0]):
+                    continue
+                if label not in source.transitions:
+                    tea.add_transition(
+                        source, label, tea.state_for(other.tbbs[0])
+                    )
+        # Exits not matched above transition to NTE implicitly: in a DFA
+        # reading PC labels, any label without an explicit edge falls out
+        # of the trace — the automaton's default models lines 12-13.
+
+    # Lines 15-17: the NTE -> head transition.
+    tea.register_head(trace, tea.state_for(trace.tbbs[0]))
+    return tea

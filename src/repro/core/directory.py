@@ -1,0 +1,220 @@
+"""Trace lookup directories for the TEA transition function.
+
+Whenever the replayer leaves a trace (or runs in NTE), it must decide
+whether the next program counter enters some trace — i.e. resolve the
+implicit ``NTE -> head`` transitions.  Section 4.2 evaluates two global
+containers:
+
+- a plain **linked list** of traces ("No Global" columns): a lookup scans
+  entries one by one, so the probe cost is linear in the number of traces
+  — the source of the pathological gcc/vortex slowdowns in Table 4;
+- a **global B+ tree** keyed by trace start address: probe cost is the
+  number of tree nodes visited.
+
+Both report the work a probe performed so the cost model can charge it.
+"""
+
+from repro.structures.bplustree import BPlusTree
+
+
+class LinkedListDirectory:
+    """Traces kept in a linked list; lookups scan linearly.
+
+    Matches the paper's unoptimised container ("the traces were kept in a
+    linked list").  A successful probe costs the number of entries
+    scanned; a miss costs the full list length.
+    """
+
+    kind = "list"
+
+    def __init__(self):
+        self._entries = []  # (addr, state) in insertion order
+        self.probes = 0
+        self.elements_scanned = 0
+
+    def insert(self, addr, state):
+        for position, (existing, _value) in enumerate(self._entries):
+            if existing == addr:
+                self._entries[position] = (addr, state)
+                return
+        self._entries.append((addr, state))
+
+    def lookup(self, addr):
+        """Return ``(state_or_None, units_of_work)``."""
+        self.probes += 1
+        scanned = 0
+        for entry_addr, state in self._entries:
+            scanned += 1
+            if entry_addr == addr:
+                self.elements_scanned += scanned
+                return state, scanned
+        self.elements_scanned += scanned
+        return None, max(scanned, 1)
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class BPlusTreeDirectory:
+    """The global B+ tree container of Section 4.2."""
+
+    kind = "bptree"
+
+    def __init__(self, order=16):
+        self._tree = BPlusTree(order=order)
+        self.probes = 0
+        self.nodes_visited = 0
+
+    def insert(self, addr, state):
+        self._tree.insert(addr, state)
+
+    def lookup(self, addr):
+        """Return ``(state_or_None, nodes_visited)``."""
+        self.probes += 1
+        state, visited = self._tree.search(addr)
+        self.nodes_visited += visited
+        return state, visited
+
+    def __len__(self):
+        return len(self._tree)
+
+    @property
+    def height(self):
+        return self._tree.height
+
+
+class HashDirectory:
+    """Open-addressing hash table keyed by trace start address.
+
+    The paper's future work: "we will investigate other techniques to
+    optimize the transition lookup operation".  A hash container makes
+    the global probe O(1) expected — the natural next step after the
+    B+ tree.  Linear probing; the probe cost is the number of slots
+    touched, so clustering shows up in the accounting honestly.
+    """
+
+    kind = "hash"
+
+    def __init__(self, initial_capacity=64):
+        capacity = 8
+        while capacity < initial_capacity:
+            capacity *= 2
+        self._keys = [None] * capacity
+        self._values = [None] * capacity
+        self._count = 0
+        self.probes = 0
+        self.slots_probed = 0
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def capacity(self):
+        return len(self._keys)
+
+    def _find_slot(self, keys, addr):
+        mask = len(keys) - 1
+        index = (addr * 0x9E3779B1 >> 8) & mask
+        touched = 1
+        while keys[index] is not None and keys[index] != addr:
+            index = (index + 1) & mask
+            touched += 1
+        return index, touched
+
+    def insert(self, addr, state):
+        if (self._count + 1) * 10 >= len(self._keys) * 7:
+            self._grow()
+        index, _ = self._find_slot(self._keys, addr)
+        if self._keys[index] is None:
+            self._count += 1
+        self._keys[index] = addr
+        self._values[index] = state
+
+    def _grow(self):
+        old_keys, old_values = self._keys, self._values
+        self._keys = [None] * (len(old_keys) * 2)
+        self._values = [None] * len(self._keys)
+        for key, value in zip(old_keys, old_values):
+            if key is not None:
+                index, _ = self._find_slot(self._keys, key)
+                self._keys[index] = key
+                self._values[index] = value
+
+    def lookup(self, addr):
+        """Return ``(state_or_None, slots_touched)``."""
+        self.probes += 1
+        index, touched = self._find_slot(self._keys, addr)
+        self.slots_probed += touched
+        if self._keys[index] is None:
+            return None, touched
+        return self._values[index], touched
+
+
+class SortedArrayDirectory:
+    """Binary search over a sorted address array.
+
+    Another future-work candidate: denser than a B+ tree (two parallel
+    arrays), O(log n) comparisons per probe, O(n) insertion — fine for a
+    directory that is read millions of times but written once per trace.
+    """
+
+    kind = "sorted"
+
+    def __init__(self):
+        self._addrs = []
+        self._states = []
+        self.probes = 0
+        self.comparisons = 0
+
+    def __len__(self):
+        return len(self._addrs)
+
+    def insert(self, addr, state):
+        import bisect
+        index = bisect.bisect_left(self._addrs, addr)
+        if index < len(self._addrs) and self._addrs[index] == addr:
+            self._states[index] = state
+        else:
+            self._addrs.insert(index, addr)
+            self._states.insert(index, state)
+
+    def lookup(self, addr):
+        """Return ``(state_or_None, comparisons)``."""
+        self.probes += 1
+        low, high = 0, len(self._addrs)
+        compared = 0
+        addrs = self._addrs
+        while low < high:
+            middle = (low + high) // 2
+            compared += 1
+            if addrs[middle] < addr:
+                low = middle + 1
+            else:
+                high = middle
+        compared = max(compared, 1)
+        self.comparisons += compared
+        if low < len(addrs) and addrs[low] == addr:
+            return self._states[low], compared
+        return None, compared
+
+
+#: Directory kind -> the cost-model parameter charged per probe unit.
+DIRECTORY_COST_PARAM = {
+    "list": "LIST_ELEMENT",
+    "bptree": "BPTREE_NODE",
+    "hash": "HASH_SLOT",
+    "sorted": "ARRAY_COMPARISON",
+}
+
+
+def make_directory(kind, order=16):
+    """Build a directory: ``"list"``, ``"bptree"``, ``"hash"``, ``"sorted"``."""
+    if kind == "list":
+        return LinkedListDirectory()
+    if kind == "bptree":
+        return BPlusTreeDirectory(order=order)
+    if kind == "hash":
+        return HashDirectory()
+    if kind == "sorted":
+        return SortedArrayDirectory()
+    raise ValueError("unknown directory kind %r" % (kind,))

@@ -1,0 +1,71 @@
+"""Trace duplication for unroll profiling (the Section 2 motivation).
+
+A TEA cannot simulate an *unrolled* trace: the unrolled copy's
+instructions have no counterpart in the unmodified executable.  But the
+trace can be **duplicated** instead of unrolled — the duplicated trace
+(Figure 1(d)) executes the same original addresses twice per cycle, so it
+can "be safely loaded alongside the original program for profiling", and
+the per-copy profile maps one-to-one onto the unrolled trace's
+instructions (instructions C and D of Figure 1(d) are instructions 5 and
+6 of the unrolled Figure 1(c)).
+
+:func:`duplicate_trace` implements that transformation for any cyclic
+trace: ``factor`` copies of every TBB, with forward edges kept inside a
+copy and backward (cycle) edges routed to the *next* copy, the final copy
+cycling back to the first.  The result is a valid
+:class:`~repro.traces.model.Trace` over the original addresses, so
+Algorithm 1 and the replayer work on it unchanged.
+"""
+
+from repro.errors import TraceError
+from repro.traces.model import Trace, TraceSet
+
+
+def duplicate_trace(trace, factor=2, new_id=None):
+    """Return ``trace`` duplicated ``factor`` times (Figure 1(b) -> 1(d))."""
+    if factor < 2:
+        raise TraceError("duplication factor must be >= 2")
+    size = len(trace.tbbs)
+    if size == 0:
+        raise TraceError("cannot duplicate an empty trace")
+    duplicated = Trace(
+        new_id if new_id is not None else trace.trace_id,
+        trace.kind,
+        anchor=trace.anchor,
+    )
+    for _copy in range(factor):
+        for tbb in trace.tbbs:
+            duplicated.add_block(tbb.block)
+    for copy in range(factor):
+        base = copy * size
+        for tbb in trace.tbbs:
+            for _label, successor in tbb.successors.items():
+                if successor > tbb.index:
+                    # Forward edge: stays within this copy.
+                    duplicated.add_edge(base + tbb.index, base + successor)
+                else:
+                    # Backward (cycle) edge: route to the next copy, the
+                    # last copy cycling back to the first.
+                    next_base = ((copy + 1) % factor) * size
+                    duplicated.add_edge(base + tbb.index, next_base + successor)
+    duplicated.validate()
+    return duplicated
+
+
+def duplicate_in_set(trace_set, entry, factor=2):
+    """Return a new TraceSet with the trace at ``entry`` duplicated.
+
+    All other traces are carried over unchanged; the duplicated trace
+    keeps its entry address, so directories and NTE transitions are
+    unaffected.
+    """
+    original = trace_set.trace_at(entry)
+    if original is None:
+        raise TraceError("no trace with entry %#x" % entry)
+    result = TraceSet(kind=trace_set.kind)
+    for trace in trace_set:
+        if trace is original:
+            result.add(duplicate_trace(trace, factor=factor))
+        else:
+            result.add(trace)
+    return result

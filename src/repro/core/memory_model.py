@@ -1,0 +1,123 @@
+"""Byte accounting for trace representations (Table 1).
+
+The paper compares the memory needed to represent traces the usual way —
+replicating (translated) trace code in a DBT code cache — against TEA's
+implicit representation, reporting ~80% savings.  This module is the
+single source of truth for both sides' accounting.  The constants model a
+StarDBT-like IA-32 -> IA-32 translator and a packed TEA implementation;
+each is documented with its justification.  "TEA achieves this space
+savings by avoiding code specialization": the DBT cost is dominated by
+translated code bytes and exit stubs, the TEA cost by small fixed-size
+state/transition records.
+
+DBT (replicated code) per trace:
+    ``translation_expansion`` x original code bytes — IA-32 retranslation
+    with condition-code preservation, trace-exit guards and inline
+    profiling counters typically grows code 2.5-3x;
+    ``exit_stub_bytes`` per side exit — a StarDBT-style lazily-linked
+    exit: save context, load exit id, jump to the runtime (40 bytes);
+    ``entry_stub_bytes`` + ``trace_descriptor_bytes`` once per trace;
+    ``link_record_bytes`` per in-trace edge (patchable-branch records);
+    ``alignment_bytes/2`` average padding (traces are cache-line aligned).
+
+TEA per trace:
+    ``state_bytes`` per TBB — a packed state: 32-bit block address,
+    32-bit trace/ordinal id, 32-bit transition-table reference;
+    ``transition_bytes`` per explicit transition — 32-bit label plus
+    32-bit target state index;
+    ``tea_trace_descriptor_bytes`` once per trace;
+    ``directory_entry_bytes`` per trace — the global B+ tree's amortised
+    per-key footprint.
+"""
+
+
+class MemoryModel:
+    """Byte accounting with documented, overridable constants."""
+
+    def __init__(
+        self,
+        translation_expansion=3.2,
+        exit_stub_bytes=40,
+        entry_stub_bytes=16,
+        trace_descriptor_bytes=24,
+        link_record_bytes=8,
+        alignment_bytes=16,
+        state_bytes=12,
+        transition_bytes=8,
+        tea_trace_descriptor_bytes=16,
+        directory_entry_bytes=12,
+        nte_bytes=64,
+    ):
+        self.translation_expansion = translation_expansion
+        self.exit_stub_bytes = exit_stub_bytes
+        self.entry_stub_bytes = entry_stub_bytes
+        self.trace_descriptor_bytes = trace_descriptor_bytes
+        self.link_record_bytes = link_record_bytes
+        self.alignment_bytes = alignment_bytes
+        self.state_bytes = state_bytes
+        self.transition_bytes = transition_bytes
+        self.tea_trace_descriptor_bytes = tea_trace_descriptor_bytes
+        self.directory_entry_bytes = directory_entry_bytes
+        self.nte_bytes = nte_bytes
+
+    # ------------------------------------------------------------------
+    # DBT side (Table 1 "DBT" columns)
+    # ------------------------------------------------------------------
+
+    def dbt_trace_bytes(self, trace):
+        """Replicated-code footprint of one trace in a DBT code cache."""
+        code = trace.code_bytes * self.translation_expansion
+        stubs = trace.n_side_exits * self.exit_stub_bytes
+        links = trace.n_edges * self.link_record_bytes
+        fixed = (
+            self.entry_stub_bytes
+            + self.trace_descriptor_bytes
+            + self.alignment_bytes / 2.0
+        )
+        return code + stubs + links + fixed
+
+    def dbt_total_bytes(self, trace_set):
+        return sum(self.dbt_trace_bytes(trace) for trace in trace_set)
+
+    # ------------------------------------------------------------------
+    # TEA side (Table 1 "TEA" columns)
+    # ------------------------------------------------------------------
+
+    def tea_trace_bytes(self, trace):
+        """Implicit (automaton) footprint of one trace."""
+        states = len(trace.tbbs) * self.state_bytes
+        transitions = trace.n_edges * self.transition_bytes
+        fixed = self.tea_trace_descriptor_bytes + self.directory_entry_bytes
+        return states + transitions + fixed
+
+    def tea_total_bytes(self, trace_set):
+        total = self.nte_bytes
+        return total + sum(self.tea_trace_bytes(trace) for trace in trace_set)
+
+    def tea_bytes_for_automaton(self, tea):
+        """Size of an already-built TEA (states + explicit transitions)."""
+        return (
+            self.nte_bytes
+            + (tea.n_states - 1) * self.state_bytes
+            + tea.n_transitions * self.transition_bytes
+            + tea.n_traces
+            * (self.tea_trace_descriptor_bytes + self.directory_entry_bytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Table 1 row
+    # ------------------------------------------------------------------
+
+    def savings(self, trace_set):
+        """Fractional savings of TEA over DBT replication (0.0-1.0)."""
+        dbt = self.dbt_total_bytes(trace_set)
+        if dbt == 0:
+            return 0.0
+        return 1.0 - self.tea_total_bytes(trace_set) / dbt
+
+    def table1_row(self, trace_set):
+        """``(dbt_kb, tea_kb, savings_fraction)`` for one benchmark/strategy."""
+        dbt = self.dbt_total_bytes(trace_set)
+        tea = self.tea_total_bytes(trace_set)
+        savings = 0.0 if dbt == 0 else 1.0 - tea / dbt
+        return dbt / 1024.0, tea / 1024.0, savings

@@ -1,0 +1,246 @@
+"""The TEA replayer: the optimised transition function of Section 4.2.
+
+The replayer consumes block transitions (from MiniPin's edge
+instrumentation) and walks the automaton.  The transition function is the
+paper's optimised implementation:
+
+1. **Explicit transition** (common case, "optimized for ... executing hot
+   code"): the current state's successor map has the next PC — a short,
+   inlineable analysis routine (``CALLBACK_FAST`` + map hit).
+2. **Trace exit**: the out-of-line slow callback runs; if enabled, the
+   per-state **local cache** is consulted first (it "speeds up transitions
+   from one trace to another"), then the **global directory** (linked
+   list or B+ tree); a miss lands in NTE.
+3. **NTE**: every block boundary probes the global directory — local
+   caches are "pointless outside of traces", exactly as the paper notes —
+   which is why the Empty configuration is *slower* than replaying real
+   traces (Table 4's counter-intuitive result falls out of this code).
+
+Coverage is accounted per completed block under both counting semantics
+(StarDBT-style and Pin-style; Section 4.1).
+"""
+
+from repro.core.directory import DIRECTORY_COST_PARAM, make_directory
+from repro.dbt.cost import CostModel
+from repro.structures.lru import DirectMappedCache, LRUCache
+
+
+class ReplayConfig:
+    """Transition-function configuration (the Table 4 axes).
+
+    ``global_index``: ``"bptree"`` or ``"list"`` (the paper's No-Global
+    configurations keep traces in a linked list), plus the future-work
+    structures ``"hash"`` and ``"sorted"``.
+    ``local_cache``: enable the per-state cache.
+    ``cache_kind``: ``"direct"`` (direct-mapped) or ``"lru"``.
+    ``cache_size``: entries per state cache.
+    """
+
+    __slots__ = ("global_index", "local_cache", "cache_kind", "cache_size",
+                 "bptree_order")
+
+    def __init__(self, global_index="bptree", local_cache=True,
+                 cache_kind="direct", cache_size=16, bptree_order=16):
+        if global_index not in ("bptree", "list", "hash", "sorted"):
+            raise ValueError(
+                "global_index must be one of 'bptree', 'list', 'hash', "
+                "'sorted'"
+            )
+        if cache_kind not in ("direct", "lru"):
+            raise ValueError("cache_kind must be 'direct' or 'lru'")
+        self.global_index = global_index
+        self.local_cache = local_cache
+        self.cache_kind = cache_kind
+        self.cache_size = cache_size
+        self.bptree_order = bptree_order
+
+    @classmethod
+    def global_local(cls):
+        """The paper's best configuration (B+ tree + local cache)."""
+        return cls(global_index="bptree", local_cache=True)
+
+    @classmethod
+    def global_no_local(cls):
+        return cls(global_index="bptree", local_cache=False)
+
+    @classmethod
+    def no_global_local(cls):
+        return cls(global_index="list", local_cache=True)
+
+    @classmethod
+    def no_global_no_local(cls):
+        """The configuration the paper could not even measure (>100x)."""
+        return cls(global_index="list", local_cache=False)
+
+    def describe(self):
+        global_name = "Global" if self.global_index == "bptree" else "No Global"
+        local_name = "Local" if self.local_cache else "No Local"
+        return "%s / %s" % (global_name, local_name)
+
+
+class ReplayStats:
+    """Event counters for one replay run."""
+
+    __slots__ = (
+        "blocks",
+        "in_trace_hits",
+        "cache_hits",
+        "cache_misses",
+        "directory_hits",
+        "directory_misses",
+        "nte_probes",
+        "trace_enters",
+        "trace_exits",
+        "covered_dbt",
+        "covered_pin",
+        "total_dbt",
+        "total_pin",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def coverage(self, pin_counting=True):
+        """Covered fraction of dynamic instructions (0.0-1.0)."""
+        if pin_counting:
+            return self.covered_pin / self.total_pin if self.total_pin else 0.0
+        return self.covered_dbt / self.total_dbt if self.total_dbt else 0.0
+
+    def __repr__(self):
+        return (
+            "<ReplayStats blocks=%d hits=%d enters=%d exits=%d coverage=%.1f%%>"
+            % (
+                self.blocks,
+                self.in_trace_hits,
+                self.trace_enters,
+                self.trace_exits,
+                100.0 * self.coverage(),
+            )
+        )
+
+
+class TeaReplayer:
+    """Drives a TEA over block transitions with cost accounting."""
+
+    def __init__(self, tea, config=None, cost=None, profile=None):
+        self.tea = tea
+        self.config = config or ReplayConfig.global_local()
+        self.cost = cost if cost is not None else CostModel()
+        self.profile = profile
+        self.stats = ReplayStats()
+        self.state = tea.nte
+        self.directory = make_directory(
+            self.config.global_index, order=self.config.bptree_order
+        )
+        for entry, head in tea.heads.items():
+            self.directory.insert(entry, head)
+        self._caches = {}
+        #: Optional observer ``fn(previous_state, new_state, transition)``
+        #: called after every step — the phase detector hooks in here.
+        self.on_step = None
+
+    # ------------------------------------------------------------------
+
+    def register_trace(self, entry, head_state):
+        """Make a newly recorded trace findable (online recording path)."""
+        self.directory.insert(entry, head_state)
+
+    def _cache_for(self, state):
+        cache = self._caches.get(state.sid)
+        if cache is None:
+            if self.config.cache_kind == "direct":
+                cache = DirectMappedCache(self.config.cache_size)
+            else:
+                cache = LRUCache(self.config.cache_size)
+            self._caches[state.sid] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+
+    def step(self, transition):
+        """Consume one block transition; returns the new state.
+
+        ``transition.block`` just finished executing; coverage for it is
+        attributed to the state the automaton was in while it ran.
+        """
+        stats = self.stats
+        cost = self.cost
+        params = cost.params
+        state = self.state
+        previous = state
+
+        stats.blocks += 1
+        stats.total_dbt += transition.instrs_dbt
+        stats.total_pin += transition.instrs_pin
+        in_trace = state.tbb is not None
+        if in_trace:
+            stats.covered_dbt += transition.instrs_dbt
+            stats.covered_pin += transition.instrs_pin
+
+        next_start = transition.next_start
+        if next_start is None:
+            # Program ended; no transition to take.
+            if self.profile is not None:
+                self.profile.record_block(state, transition)
+            return state
+
+        if in_trace:
+            destination = state.transitions.get(next_start)
+            if destination is not None:
+                cost.charge("callback", params.CALLBACK_FAST)
+                cost.charge("transition", params.IN_TRACE_TRANSITION)
+                stats.in_trace_hits += 1
+                self.state = destination
+            else:
+                cost.charge("callback", params.CALLBACK_SLOW)
+                stats.trace_exits += 1
+                self.state = self._leave_trace(state, next_start)
+        else:
+            cost.charge("callback", params.CALLBACK_SLOW)
+            stats.nte_probes += 1
+            self.state = self._probe(next_start, cache=None)
+
+        if self.profile is not None:
+            self.profile.record_block(previous, transition)
+            self.profile.record_edge(previous, self.state)
+        if self.on_step is not None:
+            self.on_step(previous, self.state, transition)
+        return self.state
+
+    def _leave_trace(self, state, next_start):
+        """Side exit: local cache, then global directory, else NTE."""
+        params = self.cost.params
+        cache = self._cache_for(state) if self.config.local_cache else None
+        if cache is not None:
+            found = cache.lookup(next_start)
+            if found is not None:
+                self.cost.charge("cache", params.CACHE_HIT)
+                self.stats.cache_hits += 1
+                self.stats.trace_enters += 1
+                return found
+            self.cost.charge("cache", params.CACHE_HIT)  # the failed probe
+            self.stats.cache_misses += 1
+        return self._probe(next_start, cache=cache)
+
+    def _probe(self, next_start, cache):
+        params = self.cost.params
+        found, units = self.directory.lookup(next_start)
+        per_unit = getattr(params, DIRECTORY_COST_PARAM[self.directory.kind])
+        self.cost.charge("directory", units * per_unit)
+        if found is None:
+            self.stats.directory_misses += 1
+            return self.tea.nte
+        self.stats.directory_hits += 1
+        self.stats.trace_enters += 1
+        self.cost.charge("enter", params.ENTER_TRACE)
+        if cache is not None:
+            cache.insert(next_start, found)
+            self.cost.charge("cache", params.CACHE_INSERT)
+        return found
+
+    # ------------------------------------------------------------------
+
+    def reset(self):
+        """Return to NTE (e.g. between program runs on one automaton)."""
+        self.state = self.tea.nte

@@ -1,0 +1,92 @@
+"""Persisting TEA (trace shape) and profile information.
+
+"Storing trace shape and profiling information for reuse in future
+executions" is the paper's third listed use.  A TEA file is the trace-set
+document (the shape — the automaton is rebuilt deterministically from it
+with Algorithm 1) plus optional profile counters keyed by
+``(trace_id, tbb_index)`` so they survive state-id renumbering.
+"""
+
+import json
+
+from repro.core.builder import build_tea
+from repro.core.profile import TeaProfile
+from repro.errors import SerializationError
+from repro.traces.serialization import trace_set_from_json, trace_set_to_json
+
+FORMAT_VERSION = 1
+
+
+def tea_to_json(trace_set, tea=None, profile=None):
+    """Serialize trace shape (+ optional profile) to a JSON-able dict."""
+    document = {
+        "version": FORMAT_VERSION,
+        "traces": trace_set_to_json(trace_set),
+    }
+    if profile is not None:
+        if tea is None:
+            raise SerializationError("profile serialization needs the TEA")
+        counts = []
+        for state in tea.states:
+            if state.tbb is None:
+                continue
+            executed = profile.state_counts.get(state.sid, 0)
+            if executed:
+                counts.append(
+                    [state.tbb.trace_id, state.tbb.index, executed]
+                )
+        document["profile"] = {
+            "state_counts": counts,
+            "trace_enters": sorted(profile.trace_enters.items()),
+            "trace_exits": sorted(profile.trace_exits.items()),
+            "trace_head_executions": sorted(
+                profile.trace_head_executions.items()
+            ),
+        }
+    return document
+
+
+def tea_from_json(document, block_index, link_traces=False):
+    """Rebuild ``(trace_set, tea, profile_or_None)`` from a TEA document."""
+    try:
+        version = document["version"]
+        if version != FORMAT_VERSION:
+            raise SerializationError("unsupported TEA format v%s" % version)
+        trace_set = trace_set_from_json(document["traces"], block_index)
+        tea = build_tea(trace_set, link_traces=link_traces)
+        payload = document.get("profile")
+    except (KeyError, TypeError) as error:
+        raise SerializationError("malformed TEA document: %s" % error) from None
+    profile = None
+    if payload is not None:
+        profile = TeaProfile()
+        by_key = {}
+        for trace in trace_set:
+            for tbb in trace:
+                by_key[(tbb.trace_id, tbb.index)] = tea.state_for(tbb)
+        for trace_id, index, executed in payload["state_counts"]:
+            state = by_key.get((trace_id, index))
+            if state is None:
+                raise SerializationError(
+                    "profile refers to unknown TBB (T%s, #%s)" % (trace_id, index)
+                )
+            profile.state_counts[state.sid] = executed
+        for name in ("trace_enters", "trace_exits", "trace_head_executions"):
+            counters = getattr(profile, name)
+            for trace_id, value in payload.get(name, ()):
+                counters[int(trace_id)] = value
+    return trace_set, tea, profile
+
+
+def save_tea(path, trace_set, tea=None, profile=None):
+    with open(path, "w") as handle:
+        json.dump(tea_to_json(trace_set, tea=tea, profile=profile), handle)
+
+
+def load_tea(path, block_index, link_traces=False):
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SerializationError("cannot read %s: %s" % (path, error)) from None
+    return tea_from_json(document, block_index, link_traces=link_traces)

@@ -1,0 +1,71 @@
+"""Dynamic control-flow events emitted by the executor.
+
+The event stream is the contract between the interpreter and every
+engine built on top of it.  One :class:`EdgeEvent` is emitted per control
+transfer (taken or not) and per Pin-style block splitter (``cpuid``,
+REP-prefixed ops).  An event carries:
+
+- ``pc``: address of the instruction that ended the block,
+- ``target``: address execution continues at (branch target when taken,
+  fall-through otherwise),
+- ``taken``: whether a branch actually redirected control,
+- ``kind``: one of the ``EDGE_*`` constants below,
+- ``instrs_dbt`` / ``instrs_pin``: instructions executed since the previous
+  event *inclusive* of this one, under StarDBT counting (REP counts as one
+  instruction) and Pin counting (REP counts each iteration) — the Section
+  4.1 discrepancy, reproduced faithfully.
+
+``EDGE_SPLIT`` events exist only so a Pin-flavour basic-block builder can
+end blocks at splitters; a StarDBT-flavour builder merges them into the
+surrounding block.
+"""
+
+EDGE_COND = "cond"
+EDGE_JMP = "jmp"
+EDGE_CALL = "call"
+EDGE_RET = "ret"
+EDGE_IND_JMP = "ind_jmp"
+EDGE_IND_CALL = "ind_call"
+EDGE_SPLIT = "split"
+
+#: Edge kinds produced by genuine control transfers (not splitters).
+CONTROL_KINDS = frozenset(
+    (EDGE_COND, EDGE_JMP, EDGE_CALL, EDGE_RET, EDGE_IND_JMP, EDGE_IND_CALL)
+)
+
+
+class EdgeEvent:
+    """One dynamic control-flow edge.  See module docstring for fields."""
+
+    __slots__ = ("pc", "target", "taken", "kind", "instrs_dbt", "instrs_pin")
+
+    def __init__(self, pc, target, taken, kind, instrs_dbt, instrs_pin):
+        self.pc = pc
+        self.target = target
+        self.taken = taken
+        self.kind = kind
+        self.instrs_dbt = instrs_dbt
+        self.instrs_pin = instrs_pin
+
+    @property
+    def is_backward(self):
+        """True for a taken transfer to a lower or equal address.
+
+        Backward taken branches are the MRET/TT hot-spot detector's
+        trigger (Dynamo's "start-of-trace" heuristic).
+        """
+        return self.taken and self.target <= self.pc
+
+    @property
+    def is_split(self):
+        return self.kind == EDGE_SPLIT
+
+    def __repr__(self):
+        return "<Edge %s %#x->%#x taken=%s dbt=%d pin=%d>" % (
+            self.kind,
+            self.pc,
+            self.target,
+            self.taken,
+            self.instrs_dbt,
+            self.instrs_pin,
+        )

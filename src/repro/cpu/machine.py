@@ -1,0 +1,72 @@
+"""Architectural state for the SX86 interpreter.
+
+Registers live in a flat list indexed by the constants in
+:mod:`repro.isa.registers`; flags are individual integer attributes
+(0 or 1) mirroring the IA-32 ZF/SF/CF/OF bits; memory is a sparse
+word-granular dictionary (address -> 32-bit value).  Word granularity is
+sufficient because all SX86 memory traffic is 32-bit.
+"""
+
+from repro.isa.program import DEFAULT_STACK_TOP
+from repro.isa.registers import ESP, NUM_REGISTERS
+
+_MASK = 0xFFFFFFFF
+
+
+class Machine:
+    """Mutable register file, flags and memory."""
+
+    __slots__ = ("regs", "zf", "sf", "cf", "of", "mem")
+
+    def __init__(self, stack_top=DEFAULT_STACK_TOP):
+        self.regs = [0] * NUM_REGISTERS
+        self.regs[ESP] = stack_top
+        self.zf = 0
+        self.sf = 0
+        self.cf = 0
+        self.of = 0
+        self.mem = {}
+
+    def load(self, addr):
+        """Read the 32-bit word at ``addr`` (uninitialised memory reads 0)."""
+        return self.mem.get(addr & _MASK, 0)
+
+    def store(self, addr, value):
+        self.mem[addr & _MASK] = value & _MASK
+
+    def load_words(self, addr, count):
+        """Read ``count`` consecutive words starting at ``addr``."""
+        mem = self.mem
+        return [mem.get((addr + 4 * i) & _MASK, 0) for i in range(count)]
+
+    def store_words(self, addr, values):
+        for offset, value in enumerate(values):
+            self.store(addr + 4 * offset, value)
+
+    def apply_image(self, program):
+        """Install a program's initial data section into memory."""
+        self.mem.update(program.data)
+
+    def snapshot(self):
+        """Copy of the architectural state, for tests and determinism checks."""
+        return {
+            "regs": list(self.regs),
+            "flags": (self.zf, self.sf, self.cf, self.of),
+            "mem": dict(self.mem),
+        }
+
+    def __repr__(self):
+        regs = " ".join(
+            "%s=%#x" % (name, value)
+            for name, value in zip(
+                ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp"), self.regs
+            )
+        )
+        return "<Machine %s zf=%d sf=%d cf=%d of=%d |mem|=%d>" % (
+            regs,
+            self.zf,
+            self.sf,
+            self.cf,
+            self.of,
+            len(self.mem),
+        )

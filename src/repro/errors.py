@@ -1,0 +1,50 @@
+"""Exception hierarchy for the TEA reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AssemblerError(ReproError):
+    """A source-level problem found while assembling SX86 text.
+
+    Carries the offending line number (1-based) when known.
+    """
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """The interpreter reached an invalid machine state.
+
+    Examples: fetching an address with no instruction, dividing by zero,
+    an indirect branch to a non-code address.
+    """
+
+
+class InstructionLimitExceeded(ExecutionError):
+    """The executor hit its instruction budget before the program halted."""
+
+
+class TraceError(ReproError):
+    """Invalid trace structure (empty trace, dangling edge, bad TBB index)."""
+
+
+class TeaError(ReproError):
+    """Invalid TEA operation (duplicate state, nondeterministic transition)."""
+
+
+class SerializationError(ReproError):
+    """A trace/TEA file could not be parsed or failed validation."""
+
+
+class WorkloadError(ReproError):
+    """Unknown benchmark name or unsatisfiable workload parameters."""

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+- :mod:`repro.harness.runner` — runs benchmarks through the engines,
+  caching per-benchmark artifacts so the tables share work.
+- :mod:`repro.harness.tables` — Table 1 (size savings), Table 2 (replay),
+  Table 3 (recording), Table 4 (overhead ablation).
+- :mod:`repro.harness.figures` — Figures 1-3 as text/DOT renderings.
+- :mod:`repro.harness.reporting` — table formatting with GeoMean rows.
+
+CLI: ``python -m repro.harness table1|table2|table3|table4|figures|all``.
+"""
+
+from repro.harness.reporting import Table
+from repro.harness.runner import HarnessConfig, Runner
+from repro.harness.tables import table1, table2, table3, table4
+
+__all__ = [
+    "HarnessConfig",
+    "Runner",
+    "Table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

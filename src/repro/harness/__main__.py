@@ -1,0 +1,107 @@
+"""CLI for the experiment harness.
+
+Examples::
+
+    python -m repro.harness table1
+    python -m repro.harness table4 --benchmarks 176.gcc,255.vortex
+    python -m repro.harness all --scale 2 --markdown --out results.md
+    python -m repro.harness figures
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import render_all
+from repro.harness.runner import HarnessConfig, Runner
+from repro.harness.summary import build_summary
+from repro.harness.tables import TABLES
+from repro.workloads import BENCHMARKS
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "what",
+        choices=sorted(TABLES) + ["figures", "summary", "all"],
+        help="which table/figure set to regenerate",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        help="comma-separated benchmark subset (default: all 26)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=4.0,
+        help="workload scale factor (default 4.0; tests use less)",
+    )
+    parser.add_argument(
+        "--threshold", type=int, default=30,
+        help="hot threshold for trace selection (default 30)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables"
+    )
+    parser.add_argument("--out", help="also write the output to this file")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    benchmarks = None
+    if args.benchmarks:
+        benchmarks = [name.strip() for name in args.benchmarks.split(",")]
+        for name in benchmarks:
+            if name not in BENCHMARKS:
+                print("unknown benchmark %r; known: %s"
+                      % (name, ", ".join(BENCHMARKS)), file=sys.stderr)
+                return 2
+    config = HarnessConfig(
+        scale=args.scale,
+        hot_threshold=args.threshold,
+        benchmarks=benchmarks,
+    )
+    progress = None
+    if not args.quiet:
+        progress = lambda message: print("  [run] %s" % message, file=sys.stderr)
+    runner = Runner(config, progress=progress)
+
+    sections = []
+    started = time.time()
+    if args.what in TABLES:
+        selected = [args.what]
+    elif args.what == "all":
+        selected = sorted(TABLES)
+    else:
+        selected = []
+    for table_name in selected:
+        table = TABLES[table_name](runner)
+        sections.append(
+            table.render_markdown() if args.markdown else table.render()
+        )
+    if args.what in ("figures", "all"):
+        sections.append(render_all())
+    if args.what in ("summary", "all"):
+        summary = build_summary(runner)
+        sections.append(
+            summary.render_markdown(include_geomean=False)
+            if args.markdown else summary.render(include_geomean=False)
+        )
+
+    output = "\n\n\n".join(sections)
+    print(output)
+    if not args.quiet:
+        print("\n[%.1f s]" % (time.time() - started), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Table rendering with GeoMean footer rows, paper style."""
+
+import math
+
+
+def geomean(values):
+    """Geometric mean of positive values (zeros/negatives are skipped)."""
+    usable = [value for value in values if value > 0]
+    if not usable:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in usable) / len(usable))
+
+
+class Column:
+    """One table column: a header, a value kind, and a geomean policy."""
+
+    __slots__ = ("header", "kind", "in_geomean")
+
+    def __init__(self, header, kind="text", in_geomean=False):
+        if kind not in ("text", "int", "float", "percent", "ratio", "kb"):
+            raise ValueError("unknown column kind %r" % kind)
+        self.header = header
+        self.kind = kind
+        self.in_geomean = in_geomean
+
+    def render(self, value):
+        if value is None:
+            return ""
+        if self.kind == "text":
+            return str(value)
+        if self.kind == "int":
+            return "%d" % round(value)
+        if self.kind == "float":
+            return "%.1f" % value
+        if self.kind == "ratio":
+            return "%.2f" % value
+        if self.kind == "kb":
+            return "%.1f" % value if value < 100 else "%d" % round(value)
+        # percent
+        percent = 100.0 * value
+        return "100%" if percent >= 99.95 else "%.1f%%" % percent
+
+
+class Table:
+    """A rendered experiment table."""
+
+    def __init__(self, title, columns, note=None):
+        self.title = title
+        self.columns = columns
+        self.rows = []
+        self.note = note
+
+    def add_row(self, values):
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "row has %d cells, table has %d columns"
+                % (len(values), len(self.columns))
+            )
+        self.rows.append(list(values))
+
+    def geomean_row(self, label="GeoMean"):
+        cells = [label]
+        for index, column in enumerate(self.columns[1:], start=1):
+            if column.in_geomean:
+                cells.append(geomean(
+                    [row[index] for row in self.rows if row[index] is not None]
+                ))
+            else:
+                cells.append(None)
+        return cells
+
+    def render(self, include_geomean=True):
+        """Plain-text rendering with aligned columns."""
+        body = [
+            [column.render(value) for column, value in zip(self.columns, row)]
+            for row in self.rows
+        ]
+        if include_geomean and self.rows:
+            footer = self.geomean_row()
+            body.append(
+                [column.render(value) if index else str(value)
+                 for index, (column, value) in enumerate(zip(self.columns, footer))]
+            )
+        headers = [column.header for column in self.columns]
+        widths = [
+            max(len(headers[i]), *(len(line[i]) for line in body)) if body
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title, ""]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for line_index, line in enumerate(body):
+            if include_geomean and self.rows and line_index == len(body) - 1:
+                lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+            lines.append(
+                "  ".join(
+                    line[i].ljust(widths[i]) if i == 0 else line[i].rjust(widths[i])
+                    for i in range(len(line))
+                )
+            )
+        if self.note:
+            lines.append("")
+            lines.append(self.note)
+        return "\n".join(lines)
+
+    def render_markdown(self, include_geomean=True):
+        headers = [column.header for column in self.columns]
+        lines = ["### %s" % self.title, ""]
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(
+                    column.render(value)
+                    for column, value in zip(self.columns, row)
+                )
+                + " |"
+            )
+        if include_geomean and self.rows:
+            footer = self.geomean_row("**GeoMean**")
+            cells = [
+                column.render(value) if index else str(value)
+                for index, (column, value) in enumerate(zip(self.columns, footer))
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        if self.note:
+            lines.append("")
+            lines.append("*%s*" % self.note)
+        return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Benchmark execution with per-benchmark artifact caching.
+
+Tables 1-4 share most of their raw runs (Table 2 replays the traces the
+Table 1 MRET recording produced; Table 4's Global/Local column is
+Table 2's run).  The :class:`Runner` memoises every (benchmark, engine,
+configuration) result so ``python -m repro.harness all`` does the minimum
+amount of simulation.
+
+Default knobs (documented in EXPERIMENTS.md): scale 4.0 and hot threshold
+30 — full-length SPEC runs make trace-formation warm-up negligible; at
+our workload sizes, scale x threshold is chosen so warm-up stays a small
+fraction of the run, as in the paper.
+"""
+
+from repro.core import MemoryModel, ReplayConfig
+from repro.dbt import StarDBT
+from repro.pin import Pin, TeaReplayTool, TeaRecordTool, run_native
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import BENCHMARKS, load_benchmark
+
+#: Table 4 transition-function configurations, paper order.
+REPLAY_CONFIGS = {
+    "no_global_local": ReplayConfig.no_global_local,
+    "global_no_local": ReplayConfig.global_no_local,
+    "global_local": ReplayConfig.global_local,
+}
+
+
+class HarnessConfig:
+    """Harness-wide knobs."""
+
+    def __init__(self, scale=4.0, hot_threshold=30, benchmarks=None,
+                 memory_model=None, max_instructions=50_000_000):
+        self.scale = scale
+        self.hot_threshold = hot_threshold
+        self.benchmarks = list(benchmarks) if benchmarks else list(BENCHMARKS)
+        self.memory_model = memory_model or MemoryModel()
+        self.max_instructions = max_instructions
+
+    def limits(self):
+        return RecorderLimits(hot_threshold=self.hot_threshold)
+
+
+class Runner:
+    """Caches per-benchmark runs; the table builders pull from here."""
+
+    def __init__(self, config=None, progress=None):
+        self.config = config or HarnessConfig()
+        self.progress = progress
+        self._workloads = {}
+        self._native = {}
+        self._dbt = {}
+        self._replay = {}
+        self._empty = {}
+        self._pin_only = {}
+        self._record = {}
+
+    def _log(self, message):
+        if self.progress is not None:
+            self.progress(message)
+
+    # ------------------------------------------------------------------
+    # raw artifacts
+    # ------------------------------------------------------------------
+
+    def workload(self, name):
+        found = self._workloads.get(name)
+        if found is None:
+            found = load_benchmark(name, scale=self.config.scale)
+            self._workloads[name] = found
+        return found
+
+    def native(self, name):
+        """Native run (the Table 4 baseline)."""
+        found = self._native.get(name)
+        if found is None:
+            self._log("%s: native" % name)
+            found = run_native(
+                self.workload(name).program,
+                max_instructions=self.config.max_instructions,
+            )
+            self._native[name] = found
+        return found
+
+    def dbt(self, name, strategy):
+        """StarDBT recording run for one strategy (Tables 1-3 baselines)."""
+        key = (name, strategy)
+        found = self._dbt.get(key)
+        if found is None:
+            self._log("%s: DBT %s" % (name, strategy))
+            runtime = StarDBT(
+                self.workload(name).program,
+                strategy=strategy,
+                limits=self.config.limits(),
+                memory_model=self.config.memory_model,
+                max_instructions=self.config.max_instructions,
+            )
+            found = runtime.run()
+            self._dbt[key] = found
+        return found
+
+    def pin_without_tool(self, name):
+        """Bare MiniPin run (Table 4 'Without Pintool')."""
+        found = self._pin_only.get(name)
+        if found is None:
+            self._log("%s: pin (no tool)" % name)
+            found = Pin(
+                self.workload(name).program,
+                tool=None,
+                max_instructions=self.config.max_instructions,
+            ).run()
+            self._pin_only[name] = found
+        return found
+
+    def replay_empty(self, name):
+        """TEA replay with no traces (Table 4 'Empty')."""
+        found = self._empty.get(name)
+        if found is None:
+            self._log("%s: TEA empty" % name)
+            tool = TeaReplayTool(trace_set=None)
+            result = Pin(
+                self.workload(name).program,
+                tool=tool,
+                max_instructions=self.config.max_instructions,
+            ).run()
+            found = (result, tool)
+            self._empty[name] = found
+        return found
+
+    def replay(self, name, config_key="global_local"):
+        """TEA replay of the DBT's MRET traces under one configuration."""
+        key = (name, config_key)
+        found = self._replay.get(key)
+        if found is None:
+            self._log("%s: TEA replay %s" % (name, config_key))
+            trace_set = self.dbt(name, "mret").trace_set
+            tool = TeaReplayTool(
+                trace_set=trace_set, config=REPLAY_CONFIGS[config_key]()
+            )
+            result = Pin(
+                self.workload(name).program,
+                tool=tool,
+                max_instructions=self.config.max_instructions,
+            ).run()
+            found = (result, tool)
+            self._replay[key] = found
+        return found
+
+    def record(self, name):
+        """Online TEA recording under MiniPin (Table 3)."""
+        found = self._record.get(name)
+        if found is None:
+            self._log("%s: TEA record" % name)
+            tool = TeaRecordTool(strategy="mret", limits=self.config.limits())
+            result = Pin(
+                self.workload(name).program,
+                tool=tool,
+                max_instructions=self.config.max_instructions,
+            ).run()
+            found = (result, tool)
+            self._record[name] = found
+        return found
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    def slowdown(self, name, result):
+        """Cycles of ``result`` normalised to the native run."""
+        baseline = self.native(name).cycles
+        return result.cycles / baseline if baseline else 0.0

@@ -1,0 +1,106 @@
+"""Headline-claims summary: paper geomeans vs this run's geomeans.
+
+``python -m repro.harness summary`` regenerates all four tables (cached
+through the shared runner) and prints one compact paper-vs-measured
+comparison — the quickest way to confirm a checkout still reproduces the
+paper's shapes after a change.
+"""
+
+from repro.harness.reporting import Column, Table, geomean
+from repro.harness.tables import table1, table2, table3, table4
+
+#: The paper's reported geomeans (Tables 1-4).
+PAPER = {
+    "table1_savings_mret": 0.77,
+    "table1_savings_ctt": 0.79,
+    "table1_savings_tt": 0.79,
+    "table2_tea_coverage": 0.975,
+    "table2_time_ratio": 12.1,   # 1559 / 129
+    "table3_tea_coverage": 0.996,
+    "table4_without_pintool": 1.50,
+    "table4_empty": 25.27,
+    "table4_no_global_local": 18.52,
+    "table4_global_no_local": 20.33,
+    "table4_global_local": 13.53,
+}
+
+
+def _column_geomean(table, index):
+    return geomean([row[index] for row in table.rows if row[index]])
+
+
+def build_summary(runner):
+    """Return a Table of headline geomeans: paper vs measured."""
+    t1 = table1(runner)
+    t2 = table2(runner)
+    t3 = table3(runner)
+    t4 = table4(runner)
+
+    measured = {
+        "table1_savings_mret": _column_geomean(t1, 3),
+        "table1_savings_ctt": _column_geomean(t1, 6),
+        "table1_savings_tt": _column_geomean(t1, 9),
+        "table2_tea_coverage": _column_geomean(t2, 1),
+        "table2_time_ratio": geomean(
+            [row[2] / row[4] for row in t2.rows if row[4]]
+        ),
+        "table3_tea_coverage": _column_geomean(t3, 1),
+        "table4_without_pintool": _column_geomean(t4, 2),
+        "table4_empty": _column_geomean(t4, 3),
+        "table4_no_global_local": _column_geomean(t4, 4),
+        "table4_global_no_local": _column_geomean(t4, 5),
+        "table4_global_local": _column_geomean(t4, 6),
+    }
+
+    descriptions = {
+        "table1_savings_mret": ("Table 1: savings geomean, MRET", "percent"),
+        "table1_savings_ctt": ("Table 1: savings geomean, CTT", "percent"),
+        "table1_savings_tt": ("Table 1: savings geomean, TT", "percent"),
+        "table2_tea_coverage": ("Table 2: TEA replay coverage", "percent"),
+        "table2_time_ratio": ("Table 2: replay/record time ratio", "ratio"),
+        "table3_tea_coverage": ("Table 3: TEA recording coverage", "percent"),
+        "table4_without_pintool": ("Table 4: Without Pintool", "ratio"),
+        "table4_empty": ("Table 4: Empty", "ratio"),
+        "table4_no_global_local": ("Table 4: No Global / Local", "ratio"),
+        "table4_global_no_local": ("Table 4: Global / No Local", "ratio"),
+        "table4_global_local": ("Table 4: Global / Local", "ratio"),
+    }
+
+    # Shape checks: the orderings that define the reproduction.
+    shape_ok = {
+        "table4_ordering": (
+            measured["table4_global_local"]
+            <= measured["table4_no_global_local"] * 1.02
+            and measured["table4_global_local"]
+            <= measured["table4_global_no_local"] * 1.02
+            and measured["table4_global_no_local"]
+            < measured["table4_empty"]
+        ),
+        "empty_slowest_tea": (
+            measured["table4_empty"] > measured["table4_global_local"]
+        ),
+        "pin_cheap": measured["table4_without_pintool"] < 4.0,
+    }
+
+    table = Table(
+        "Headline claims: paper geomeans vs this run",
+        [
+            Column("claim"),
+            Column("paper", "text"),
+            Column("measured", "text"),
+        ],
+        note="shape checks: %s" % ", ".join(
+            "%s=%s" % (name, "OK" if passed else "FAIL")
+            for name, passed in sorted(shape_ok.items())
+        ),
+    )
+
+    def render(kind, value):
+        if kind == "percent":
+            return "%.1f%%" % (100 * value)
+        return "%.2fx" % value
+
+    for key, (label, kind) in descriptions.items():
+        table.add_row([label, render(kind, PAPER[key]),
+                       render(kind, measured[key])])
+    return table

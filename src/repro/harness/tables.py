@@ -1,0 +1,144 @@
+"""Builders for the paper's four tables.
+
+Each function takes a :class:`~repro.harness.runner.Runner` and returns a
+:class:`~repro.harness.reporting.Table` with the same rows/columns the
+paper reports (sizes in KB, coverage percentages, times — here in
+megacycles of the shared cost model — and slowdowns normalised to
+native).  GeoMean footer rows match the paper's.
+"""
+
+from repro.harness.reporting import Column, Table
+
+
+def table1(runner):
+    """Table 1: size savings with TEA, per strategy (MRET / CTT / TT)."""
+    columns = [Column("benchmark")]
+    for strategy in ("MRET", "CTT", "TT"):
+        columns.append(Column("%s DBT KB" % strategy, "kb"))
+        columns.append(Column("%s TEA KB" % strategy, "kb"))
+        columns.append(Column("%s Savings" % strategy, "percent",
+                              in_geomean=True))
+    table = Table(
+        "Table 1: Size Savings with TEA (KB to represent traces)",
+        columns,
+        note=(
+            "DBT = replicated trace code in a StarDBT-like code cache; "
+            "TEA = implicit automaton representation (see "
+            "repro.core.memory_model for the byte accounting)."
+        ),
+    )
+    model = runner.config.memory_model
+    for name in runner.config.benchmarks:
+        row = [name]
+        for strategy in ("mret", "ctt", "tt"):
+            result = runner.dbt(name, strategy)
+            dbt_kb, tea_kb, savings = model.table1_row(result.trace_set)
+            row.extend([dbt_kb, tea_kb, savings])
+        table.add_row(row)
+    return table
+
+
+def table2(runner):
+    """Table 2: replaying StarDBT-recorded traces via TEA under MiniPin."""
+    columns = [
+        Column("benchmark"),
+        Column("TEA Coverage", "percent", in_geomean=True),
+        Column("TEA Time (Mcyc)", "float", in_geomean=True),
+        Column("DBT Coverage", "percent", in_geomean=True),
+        Column("DBT Time (Mcyc)", "float", in_geomean=True),
+    ]
+    table = Table(
+        "Table 2: TEA Runtime Aspects - Replaying "
+        "(StarDBT MRET traces replayed under MiniPin)",
+        columns,
+        note=(
+            "TEA coverage uses Pin instruction counting, DBT coverage "
+            "StarDBT counting (Section 4.1); DBT time is its recording "
+            "run.  Times are counted megacycles of the shared cost model."
+        ),
+    )
+    for name in runner.config.benchmarks:
+        dbt_result = runner.dbt(name, "mret")
+        replay_result, replay_tool = runner.replay(name, "global_local")
+        table.add_row([
+            name,
+            replay_tool.coverage,
+            replay_result.megacycles,
+            dbt_result.coverage,
+            dbt_result.megacycles,
+        ])
+    return table
+
+
+def table3(runner):
+    """Table 3: recording traces online via TEA (Algorithm 2)."""
+    columns = [
+        Column("benchmark"),
+        Column("TEA Coverage", "percent", in_geomean=True),
+        Column("TEA Time (Mcyc)", "float", in_geomean=True),
+        Column("DBT Coverage", "percent", in_geomean=True),
+        Column("DBT Time (Mcyc)", "float", in_geomean=True),
+    ]
+    table = Table(
+        "Table 3: TEA Runtime Aspects - Recording "
+        "(MRET recorded online by the TEA pintool)",
+        columns,
+        note="Time means recording time for both TEA and DBT.",
+    )
+    for name in runner.config.benchmarks:
+        dbt_result = runner.dbt(name, "mret")
+        record_result, record_tool = runner.record(name)
+        table.add_row([
+            name,
+            record_tool.coverage,
+            record_result.megacycles,
+            dbt_result.coverage,
+            dbt_result.megacycles,
+        ])
+    return table
+
+
+def table4(runner):
+    """Table 4: TEA overhead for the transition-function configurations."""
+    columns = [
+        Column("benchmark"),
+        Column("Native", "ratio", in_geomean=True),
+        Column("Without Pintool", "ratio", in_geomean=True),
+        Column("Empty", "ratio", in_geomean=True),
+        Column("No Global / Local", "ratio", in_geomean=True),
+        Column("Global / No Local", "ratio", in_geomean=True),
+        Column("Global / Local", "ratio", in_geomean=True),
+    ]
+    table = Table(
+        "Table 4: TEA Overhead for Various Configurations "
+        "(slowdown vs native)",
+        columns,
+        note=(
+            "Global = B+ tree trace directory (vs linked list); Local = "
+            "per-state transition cache.  'Empty' replays an empty trace "
+            "set — slower than replaying real traces because every block "
+            "takes the transition function's slow path (Section 4.2)."
+        ),
+    )
+    for name in runner.config.benchmarks:
+        empty_result, _ = runner.replay_empty(name)
+        row = [
+            name,
+            1.0,
+            runner.slowdown(name, runner.pin_without_tool(name)),
+            runner.slowdown(name, empty_result),
+        ]
+        for key in ("no_global_local", "global_no_local", "global_local"):
+            result, _tool = runner.replay(name, key)
+            row.append(runner.slowdown(name, result))
+        table.add_row(row)
+    return table
+
+
+#: Table id -> builder, for the CLI.
+TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+}

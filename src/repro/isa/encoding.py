@@ -1,0 +1,92 @@
+"""Byte-length model for SX86 instructions.
+
+Table 1 of the paper accounts memory in bytes of trace code, so programs
+need realistic code sizes.  SX86 does not define a bit-level encoding;
+instead each instruction is assigned a deterministic byte length chosen to
+match typical IA-32 encodings (ModRM + disp + imm sizes).  The resulting
+average instruction length over the generated workloads is ~3.5 bytes,
+in line with measured IA-32 instruction mixes.
+
+The rules here are the single source of truth for instruction lengths:
+both the assembler layout and the DBT code-cache accounting use them.
+"""
+
+from repro.isa.operands import Imm, LabelRef, Mem, Reg
+
+
+def _mem_bytes(mem):
+    """ModRM/SIB/displacement bytes for a memory operand."""
+    size = 1  # ModRM
+    if mem.index is not None:
+        size += 1  # SIB
+    if mem.disp:
+        size += 1 if -128 <= mem.disp <= 127 else 4
+    elif mem.base is None:
+        size += 4  # absolute disp32
+    return size
+
+
+def _imm_bytes(imm):
+    return 1 if -128 <= imm.value <= 127 else 4
+
+
+def instruction_length(opcode, operands):
+    """Return the encoded byte length of ``opcode`` with ``operands``.
+
+    ``LabelRef`` operands are treated as 32-bit quantities (they resolve
+    to addresses), so lengths are stable across both assembler passes.
+    """
+    kind_lengths = {
+        "nop": 1,
+        "hlt": 1,
+        "cpuid": 2,
+        "ret": 1,
+        "rep_movsd": 2,
+        "rep_stosd": 2,
+    }
+    if opcode in kind_lengths:
+        return kind_lengths[opcode]
+
+    if opcode == "jmp" or opcode == "call":
+        operand = operands[0]
+        if isinstance(operand, Reg):
+            return 2  # FF /4 or /2 with register ModRM
+        if isinstance(operand, Mem):
+            return 1 + _mem_bytes(operand)
+        return 5  # E9/E8 rel32
+    if opcode.startswith("j"):
+        return 6  # 0F 8x rel32 (near form; we do not model rel8 relaxation)
+
+    if opcode == "push":
+        operand = operands[0]
+        if isinstance(operand, Reg):
+            return 1
+        if isinstance(operand, Mem):
+            return 1 + _mem_bytes(operand)
+        return _imm_bytes(operand) + 1
+    if opcode == "pop":
+        return 1
+
+    if opcode in ("inc", "dec", "neg", "not"):
+        operand = operands[0]
+        if isinstance(operand, Reg):
+            return 1 if opcode in ("inc", "dec") else 2
+        return 1 + _mem_bytes(operand)
+
+    # Two-operand forms: opcode byte(s) + ModRM-ish + imm/disp.
+    dst, src = operands
+    size = 2 if opcode == "imul" else 1  # imul uses the 0F AF form
+    if isinstance(dst, Mem):
+        size += _mem_bytes(dst)
+    elif isinstance(src, Mem):
+        size += _mem_bytes(src)
+    else:
+        size += 1  # register-register ModRM
+    if isinstance(src, (Imm, LabelRef)):
+        if isinstance(src, LabelRef):
+            size += 4
+        elif opcode in ("shl", "shr", "sar"):
+            size += 1  # shift count is imm8
+        else:
+            size += _imm_bytes(src)
+    return size

@@ -1,0 +1,122 @@
+"""Assembled SX86 program image.
+
+A :class:`Program` is the unit every other subsystem consumes: the CPU
+fetches instructions from it, the CFG builder walks it statically, the
+workload generator emits one per benchmark, and trace records refer to its
+addresses.
+
+Code is laid out contiguously from ``base`` (default 0x08048000, the
+classic Linux IA-32 text base).  An optional data section follows the
+code, 16-byte aligned; its initial word values are applied to the machine
+memory before execution.
+"""
+
+from repro.errors import ExecutionError
+
+#: Default text-segment base, matching Linux IA-32 executables.
+DEFAULT_BASE = 0x08048000
+
+#: Default stack pointer on entry (grows down).
+DEFAULT_STACK_TOP = 0x0BFFF000
+
+
+class Program:
+    """An immutable, laid-out SX86 program.
+
+    Attributes
+    ----------
+    base:
+        Address of the first instruction.
+    instructions:
+        Instructions in layout order, each with ``addr``/``length`` set.
+    labels:
+        Mapping from label name to address (code and data labels).
+    entry:
+        Address execution starts at (the ``main`` label when present,
+        otherwise ``base``).
+    data:
+        Mapping from address to initial 32-bit word value.
+    """
+
+    def __init__(self, instructions, labels, entry, base=DEFAULT_BASE, data=None,
+                 source=None):
+        self.base = base
+        self.instructions = list(instructions)
+        self.labels = dict(labels)
+        self.entry = entry
+        self.data = dict(data or {})
+        self.source = source
+        self._by_addr = {instr.addr: instr for instr in self.instructions}
+        if self.instructions:
+            last = self.instructions[-1]
+            self.code_end = last.addr + last.length
+        else:
+            self.code_end = base
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def instruction_at(self, addr):
+        """Return the instruction at ``addr``.
+
+        Raises :class:`~repro.errors.ExecutionError` when ``addr`` does not
+        fall on an instruction boundary — the same condition a real DBT
+        would treat as a control-flow error.
+        """
+        try:
+            return self._by_addr[addr]
+        except KeyError:
+            raise ExecutionError("no instruction at %#x" % (addr,)) from None
+
+    def has_instruction(self, addr):
+        return addr in self._by_addr
+
+    def label_addr(self, name):
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise ExecutionError("unknown label %r" % (name,)) from None
+
+    @property
+    def code_size_bytes(self):
+        return self.code_end - self.base
+
+    def static_successors(self, instr):
+        """Statically known successor addresses of ``instr``.
+
+        Conditional branches yield (target, fallthrough); direct jumps the
+        target; calls the target plus the return continuation; returns and
+        indirect transfers yield nothing (unknown statically).  Used by the
+        static CFG builder and by Algorithm 1 when computing TBB successors.
+        """
+        if not instr.is_control:
+            return (instr.fallthrough,)
+        if instr.opcode == "hlt" or instr.is_ret or instr.is_indirect:
+            return ()
+        if instr.is_conditional:
+            return (instr.target, instr.fallthrough)
+        if instr.is_call:
+            return (instr.target, instr.fallthrough)
+        return (instr.target,)
+
+    def disassemble(self):
+        """Render the whole program as address-annotated assembly text."""
+        addr_to_labels = {}
+        for name, addr in sorted(self.labels.items()):
+            addr_to_labels.setdefault(addr, []).append(name)
+        lines = []
+        for instr in self.instructions:
+            for name in addr_to_labels.get(instr.addr, ()):
+                lines.append("%s:" % name)
+            lines.append("    %#010x  %s" % (instr.addr, instr.to_assembly()))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<Program %d instructions, %d bytes at %#x>" % (
+            len(self.instructions),
+            self.code_size_bytes,
+            self.base,
+        )

@@ -1,0 +1,32 @@
+"""General-purpose registers of the SX86 ISA.
+
+SX86 mirrors the eight IA-32 GPRs.  Registers are identified by small
+integer indices so the interpreter can keep machine state in a flat list.
+"""
+
+from repro.errors import AssemblerError
+
+REGISTER_NAMES = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+
+EAX, EBX, ECX, EDX, ESI, EDI, EBP, ESP = range(8)
+
+NUM_REGISTERS = len(REGISTER_NAMES)
+
+_NAME_TO_INDEX = {name: index for index, name in enumerate(REGISTER_NAMES)}
+
+
+def register_index(name):
+    """Return the register index for ``name`` (case-insensitive).
+
+    Raises :class:`~repro.errors.AssemblerError` for unknown names so the
+    assembler can surface a clean diagnostic.
+    """
+    try:
+        return _NAME_TO_INDEX[name.lower()]
+    except KeyError:
+        raise AssemblerError("unknown register %r" % (name,)) from None
+
+
+def is_register_name(name):
+    """Return True when ``name`` names one of the eight GPRs."""
+    return name.lower() in _NAME_TO_INDEX

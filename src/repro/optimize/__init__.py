@@ -1,0 +1,17 @@
+"""Trace optimization support built on TEA profiles.
+
+The paper motivates TEA with the trace-optimization workflow of Section
+2: an optimizer wants to unroll a hot trace, but accurate per-copy
+profile data for the unrolled code cannot be collected by replaying the
+original trace — it *can* be collected by replaying the **duplicated**
+trace, whose per-copy TEA states map one-to-one onto the unrolled
+instructions.  :mod:`repro.optimize.unroll` implements that mapping.
+"""
+
+from repro.optimize.unroll import (
+    UnrolledInstruction,
+    UnrollReport,
+    annotate_unrolled,
+)
+
+__all__ = ["UnrolledInstruction", "UnrollReport", "annotate_unrolled"]

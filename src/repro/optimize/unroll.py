@@ -1,0 +1,139 @@
+"""Per-copy profile annotation for unrolled traces (Section 2).
+
+Given a *duplicated* trace (:func:`repro.core.duplication.duplicate_trace`)
+and the profile a TEA replay collected over it, this module produces the
+instruction-level annotations for the corresponding *unrolled* trace:
+copy ``k`` of the duplicated trace executed the same original addresses
+the ``k``-th unrolled body will contain, so its per-state counts carry
+over directly — "instructions (C) and (D) in Figure 1(d) are the same as
+instructions (5) and (6) in Figure 1(c), thus the collected profile
+information can be used to optimize the unrolled loop."
+"""
+
+from repro.errors import TraceError
+
+
+class UnrolledInstruction:
+    """One instruction of the conceptual unrolled trace."""
+
+    __slots__ = ("copy", "position", "instruction", "executions")
+
+    def __init__(self, copy, position, instruction, executions):
+        self.copy = copy
+        self.position = position
+        self.instruction = instruction
+        self.executions = executions
+
+    @property
+    def addr(self):
+        return self.instruction.addr
+
+    def __repr__(self):
+        return "<UnrolledInstruction copy=%d %#x x%d>" % (
+            self.copy,
+            self.instruction.addr,
+            self.executions,
+        )
+
+
+class UnrollReport:
+    """Annotation table for one unrolled trace."""
+
+    def __init__(self, original_length, factor, instructions):
+        self.original_length = original_length
+        self.factor = factor
+        self.instructions = instructions
+
+    def copy_executions(self, copy):
+        """Executions of copy ``copy``'s body (head-instruction count)."""
+        for entry in self.instructions:
+            if entry.copy == copy:
+                return entry.executions
+        return 0
+
+    @property
+    def total_iterations(self):
+        return sum(self.copy_executions(copy) for copy in range(self.factor))
+
+    def imbalance(self):
+        """max/min execution ratio across copies (1.0 = perfectly even).
+
+        A strong imbalance tells the optimizer the loop's trip counts do
+        not divide evenly by the unroll factor — it needs a prologue or
+        epilogue rather than a naive x-factor body.
+        """
+        counts = [self.copy_executions(copy) for copy in range(self.factor)]
+        low = min(counts)
+        high = max(counts)
+        if low == 0:
+            return float("inf") if high else 1.0
+        return high / low
+
+    def to_text(self, program=None):
+        lines = [
+            "unrolled trace annotation (factor %d, %d original instructions)"
+            % (self.factor, self.original_length),
+        ]
+        current_copy = None
+        for entry in self.instructions:
+            if entry.copy != current_copy:
+                current_copy = entry.copy
+                lines.append("  -- copy %d --" % current_copy)
+            lines.append(
+                "  %#010x  %-28s x%d"
+                % (entry.addr, entry.instruction.to_assembly(),
+                   entry.executions)
+            )
+        return "\n".join(lines)
+
+
+def annotate_unrolled(program, duplicated_trace, tea, profile):
+    """Build the :class:`UnrollReport` for a duplicated trace's profile.
+
+    ``duplicated_trace`` must have been produced by
+    :func:`~repro.core.duplication.duplicate_trace`; ``profile`` must
+    come from replaying it through ``tea``.  Each duplicated TBB's state
+    count annotates every instruction of the matching unrolled body.
+    """
+    total = len(duplicated_trace.tbbs)
+    factors = [
+        factor for factor in range(2, total + 1)
+        if total % factor == 0
+    ]
+    if not factors:
+        raise TraceError("duplicated trace has indivisible length %d" % total)
+    # The duplication layout is copy-major: original length = total/factor
+    # with TBB i belonging to copy i // original_length.  Recover the
+    # original length from the repeating block-start pattern.
+    original_length = None
+    starts = [tbb.block.start for tbb in duplicated_trace.tbbs]
+    for factor in factors:
+        size = total // factor
+        pattern = starts[:size]
+        if all(
+            starts[copy * size:(copy + 1) * size] == pattern
+            for copy in range(factor)
+        ):
+            original_length = size
+            factor_found = factor
+            break
+    if original_length is None:
+        raise TraceError("trace does not look like a duplication")
+
+    instructions = []
+    for tbb in duplicated_trace.tbbs:
+        copy = tbb.index // original_length
+        state = tea.state_for(tbb)
+        executions = profile.state_counts.get(state.sid, 0)
+        addr = tbb.block.start
+        position = 0
+        while True:
+            instruction = program.instruction_at(addr)
+            instructions.append(
+                UnrolledInstruction(copy, position, instruction, executions)
+            )
+            position += 1
+            if addr == tbb.block.end:
+                break
+            addr = instruction.fallthrough
+    return UnrollReport(original_length, factor_found, instructions)

@@ -1,0 +1,146 @@
+"""The MiniPin engine.
+
+Runs a program on the interpreter while (a) charging Pin's own overheads
+per the cost model and (b) delivering StarDBT-flavour block transitions
+to the attached pintool.  Engine overheads, per the cost-model docs:
+
+- ``PIN_BLOCK_STUB`` per *Pin-flavour* dynamic block (splits at
+  cpuid/REP), modelling code-cache block dispatch;
+- ``PIN_TRANSLATION_PER_INSTR`` the first time each block is executed;
+- ``PIN_INDIRECT_EXTRA`` per indirect jump/call/return edge.
+
+Instruction totals are exposed under both counting semantics; coverage
+figures computed by TEA tools use Pin counting (REP iterations counted),
+which is what makes our Table 2/3 coverages differ slightly from the
+DBT's — the Section 4.1 effect.
+"""
+
+from repro.cfg.basic_block import BlockIndex
+from repro.cfg.builder import FLAVOR_STARDBT, DynamicBlockBuilder
+from repro.cpu.events import EDGE_IND_CALL, EDGE_IND_JMP, EDGE_RET
+from repro.cpu.executor import DEFAULT_MAX_INSTRUCTIONS, Executor
+from repro.dbt.cost import CostModel, CostParameters
+
+_INDIRECT_KINDS = (EDGE_IND_JMP, EDGE_IND_CALL, EDGE_RET)
+
+
+class PinResult:
+    """Outcome of a MiniPin run."""
+
+    __slots__ = ("cost", "instrs_dbt", "instrs_pin", "blocks", "tool", "halted")
+
+    def __init__(self, cost, instrs_dbt, instrs_pin, blocks, tool, halted):
+        self.cost = cost
+        self.instrs_dbt = instrs_dbt
+        self.instrs_pin = instrs_pin
+        self.blocks = blocks
+        self.tool = tool
+        self.halted = halted
+
+    @property
+    def cycles(self):
+        return self.cost.cycles
+
+    @property
+    def megacycles(self):
+        return self.cost.megacycles
+
+    def slowdown(self, native_cycles=None):
+        """Slowdown versus native execution of the same run."""
+        baseline = (
+            native_cycles
+            if native_cycles is not None
+            else self.instrs_pin * self.cost.params.NATIVE_INSTRUCTION
+        )
+        return self.cycles / baseline if baseline else 0.0
+
+    def __repr__(self):
+        return "<PinResult %.1f Mcycles, %d blocks>" % (
+            self.megacycles,
+            self.blocks,
+        )
+
+
+class Pin:
+    """The engine: one instance per program run."""
+
+    def __init__(self, program, tool=None, cost_params=None,
+                 max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+        self.program = program
+        self.tool = tool
+        self.cost = CostModel(cost_params or CostParameters())
+        self.block_index = BlockIndex(program)
+        self.max_instructions = max_instructions
+        self._seen_block_ends = set()
+
+    def run(self):
+        """Execute under instrumentation; returns :class:`PinResult`."""
+        cost = self.cost
+        params = cost.params
+        tool = self.tool
+        if tool is not None:
+            tool.attach(self)
+
+        builder = DynamicBlockBuilder(
+            self.block_index, self.program.entry, flavor=FLAVOR_STARDBT
+        )
+        executor = Executor(self.program, max_instructions=self.max_instructions)
+        consumed = [0, 0]
+        pin_blocks = [0]
+        seen_ends = self._seen_block_ends
+        deliver = tool.on_transition if tool is not None else None
+
+        def on_event(event):
+            consumed[0] += event.instrs_dbt
+            consumed[1] += event.instrs_pin
+            # Engine-side costs are per Pin-flavour block: every event
+            # (control transfer or splitter) ends one.
+            pin_blocks[0] += 1
+            cost.charge("pin_dispatch", params.PIN_BLOCK_STUB)
+            if event.pc not in seen_ends:
+                seen_ends.add(event.pc)
+                cost.charge(
+                    "pin_translation",
+                    params.PIN_TRANSLATION_PER_INSTR * event.instrs_dbt,
+                )
+            if event.kind in _INDIRECT_KINDS:
+                cost.charge("pin_indirect", params.PIN_INDIRECT_EXTRA)
+            cost.charge_instructions(event.instrs_pin)
+            transition = builder.feed(event)
+            if transition is not None and deliver is not None:
+                deliver(transition)
+
+        result = executor.run(on_event)
+        residual_dbt = result.instrs_dbt - consumed[0]
+        residual_pin = result.instrs_pin - consumed[1]
+        cost.charge_instructions(residual_pin)
+        final = builder.flush(result.final_pc, residual_dbt, residual_pin)
+        if deliver is not None:
+            deliver(final)
+        if tool is not None:
+            tool.on_finish()
+        return PinResult(
+            cost,
+            result.instrs_dbt,
+            result.instrs_pin,
+            pin_blocks[0] + 1,
+            tool,
+            result.halted,
+        )
+
+
+def run_native(program, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+               cost_params=None):
+    """Native baseline: the program alone, one cycle per instruction.
+
+    Returns a :class:`PinResult`-shaped object so harness code can treat
+    every configuration uniformly.
+    """
+    cost = CostModel(cost_params or CostParameters())
+    executor = Executor(program, max_instructions=max_instructions)
+    result = executor.run(None)
+    cost.charge_instructions(result.instrs_pin)
+    return PinResult(
+        cost, result.instrs_dbt, result.instrs_pin, result.edges + 1, None,
+        result.halted,
+    )

@@ -1,0 +1,89 @@
+"""The pintool API.
+
+A pintool registers interest in block transitions; MiniPin calls
+``on_transition`` for every completed dynamic basic block (StarDBT
+flavour — taken/fall-through edges, per the Section 4.1 workaround) and
+``on_finish`` once at program end.  ``attach`` hands the tool the engine
+so it can reach the shared cost model, the block index and the program
+image — analysis work the tool performs must be charged to that cost
+model, the way real analysis routines cost real cycles.
+"""
+
+
+class Pintool:
+    """Base class for instrumentation tools; override the hooks."""
+
+    def __init__(self):
+        self.pin = None
+
+    def attach(self, pin):
+        """Called by the engine before the run starts."""
+        self.pin = pin
+
+    @property
+    def cost(self):
+        return self.pin.cost
+
+    def on_transition(self, transition):
+        """One dynamic basic block completed (StarDBT-flavour blocks)."""
+
+    def on_finish(self):
+        """Program ended; finalize analysis state."""
+
+
+class CallbackTool(Pintool):
+    """Adapter: wrap plain callables as a pintool (handy in tests)."""
+
+    def __init__(self, on_transition=None, on_finish=None):
+        super().__init__()
+        self._transition_fn = on_transition
+        self._finish_fn = on_finish
+
+    def on_transition(self, transition):
+        if self._transition_fn is not None:
+            self._transition_fn(transition)
+
+    def on_finish(self):
+        if self._finish_fn is not None:
+            self._finish_fn()
+
+
+class MultiTool(Pintool):
+    """Run several pintools over one execution.
+
+    Real Pin runs one tool per process; analyses that want to share a run
+    compose inside the tool.  ``MultiTool`` is that composition: each
+    sub-tool is attached to the same engine (one shared cost model — each
+    tool still charges its own analysis work) and receives every
+    transition in registration order.
+
+    Example: replay a TEA *and* collect the DCFG in a single pass::
+
+        tool = MultiTool([TeaReplayTool(trace_set=traces), DcfgTool()])
+        Pin(program, tool=tool).run()
+    """
+
+    def __init__(self, tools):
+        super().__init__()
+        if not tools:
+            raise ValueError("MultiTool needs at least one tool")
+        self.tools = list(tools)
+
+    def attach(self, pin):
+        super().attach(pin)
+        for tool in self.tools:
+            tool.attach(pin)
+
+    def on_transition(self, transition):
+        for tool in self.tools:
+            tool.on_transition(transition)
+
+    def on_finish(self):
+        for tool in self.tools:
+            tool.on_finish()
+
+    def __getitem__(self, index):
+        return self.tools[index]
+
+    def __len__(self):
+        return len(self.tools)

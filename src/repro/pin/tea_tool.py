@@ -1,0 +1,105 @@
+"""The TEA pintools: the paper's experimental tools under MiniPin.
+
+"For this paper, we implemented a pintool that loads traces from a input
+file and uses the traces for program execution.  Our tool is also capable
+of recording traces if they are not available prior to program
+execution."  That pintool is these two classes:
+
+- :class:`TeaReplayTool` — loads a trace set (typically recorded by
+  StarDBT and serialized), builds the TEA with Algorithm 1, and replays
+  it against the executing program (Tables 2 and 4).
+- :class:`TeaRecordTool` — records traces online with Algorithm 2 while
+  maintaining the TEA (Table 3).
+"""
+
+from repro.core.builder import build_tea
+from repro.core.online import OnlineTeaRecorder
+from repro.core.replay import ReplayConfig, TeaReplayer
+from repro.pin.pintool import Pintool
+from repro.traces import make_recorder
+from repro.traces.model import TraceSet
+
+
+class TeaReplayTool(Pintool):
+    """Replay previously recorded traces via TEA.
+
+    Parameters
+    ----------
+    trace_set:
+        The traces to replay (pass an empty/None set for the Table 4
+        "Empty" configuration).
+    config:
+        The transition-function configuration (Table 4 axes).
+    profile:
+        Optional :class:`~repro.core.profile.TeaProfile` to fill.
+    link_traces:
+        Materialise statically known trace-to-trace transitions in the
+        automaton (ablation; the paper resolves them dynamically).
+    """
+
+    def __init__(self, trace_set=None, config=None, profile=None,
+                 link_traces=False):
+        super().__init__()
+        self.trace_set = trace_set if trace_set is not None else TraceSet()
+        self.config = config or ReplayConfig.global_local()
+        self.profile = profile
+        self.tea = build_tea(self.trace_set, link_traces=link_traces)
+        self.replayer = None
+
+    def attach(self, pin):
+        super().attach(pin)
+        self.replayer = TeaReplayer(
+            self.tea, config=self.config, cost=pin.cost, profile=self.profile
+        )
+
+    def on_transition(self, transition):
+        self.replayer.step(transition)
+
+    @property
+    def stats(self):
+        return self.replayer.stats
+
+    @property
+    def coverage(self):
+        """Covered instruction fraction under Pin counting (Section 4.1)."""
+        return self.replayer.stats.coverage(pin_counting=True)
+
+
+class TeaRecordTool(Pintool):
+    """Record traces online (Algorithm 2) and grow the TEA as they finish."""
+
+    def __init__(self, strategy="mret", limits=None, config=None,
+                 profile=None, recorder_kwargs=None):
+        super().__init__()
+        kwargs = dict(recorder_kwargs or {})
+        kwargs["limits"] = limits
+        self.recorder = make_recorder(strategy, **kwargs)
+        self.config = config or ReplayConfig.global_local()
+        self.profile = profile
+        self.online = None
+        self.trace_set = None
+
+    def attach(self, pin):
+        super().attach(pin)
+        self.online = OnlineTeaRecorder(
+            self.recorder, config=self.config, cost=pin.cost,
+            profile=self.profile,
+        )
+
+    def on_transition(self, transition):
+        self.online.observe(transition)
+
+    def on_finish(self):
+        self.trace_set = self.online.finish()
+
+    @property
+    def tea(self):
+        return self.online.tea
+
+    @property
+    def stats(self):
+        return self.online.stats
+
+    @property
+    def coverage(self):
+        return self.online.stats.coverage(pin_counting=True)

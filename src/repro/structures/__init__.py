@@ -1,0 +1,18 @@
+"""Auxiliary data structures for the TEA transition function.
+
+Section 4.2 of the paper attributes most of TEA's overhead to the
+transition lookup and evaluates three helpers: keeping traces in a plain
+linked list, a global B+ tree keyed by trace start address, and a small
+per-state local cache.  This package provides all three as standalone,
+fully tested structures:
+
+- :class:`~repro.structures.bplustree.BPlusTree` — insert/search/delete/
+  range over integer keys, with probe-cost accounting (nodes visited).
+- :class:`~repro.structures.lru.LRUCache` and
+  :class:`~repro.structures.lru.DirectMappedCache` — the local caches.
+"""
+
+from repro.structures.bplustree import BPlusTree
+from repro.structures.lru import DirectMappedCache, LRUCache
+
+__all__ = ["BPlusTree", "LRUCache", "DirectMappedCache"]

@@ -1,0 +1,326 @@
+"""A B+ tree over integer keys.
+
+This is the "global B+ tree" of Section 4.2: the TEA transition function
+searches it for a trace whose start address matches the next program
+counter.  The implementation is a textbook order-``b`` B+ tree:
+
+- all values live in leaves; internal nodes hold routing keys only;
+- leaves are chained for range iteration;
+- insertion splits full nodes upward; deletion borrows from or merges
+  with siblings and collapses the root when it empties.
+
+Search reports the number of nodes visited so the replayer's cost model
+can charge probe work proportional to the actual descent (this is what
+makes the Table 4 "Global" columns emergent rather than assumed).
+"""
+
+import bisect
+
+DEFAULT_ORDER = 16
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf):
+        self.keys = []
+        self.children = []  # internal nodes only
+        self.values = []    # leaves only
+        self.next_leaf = None
+        self.is_leaf = is_leaf
+
+
+class BPlusTree:
+    """Mapping from integer keys to arbitrary values, B+ tree backed.
+
+    ``order`` is the maximum number of keys per node (>= 3).
+    """
+
+    def __init__(self, order=DEFAULT_ORDER):
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+        self.height = 1
+
+    def __len__(self):
+        return self._size
+
+    def __contains__(self, key):
+        value, _ = self.search(key)
+        return value is not None or self._leaf_has(key)
+
+    def _leaf_has(self, key):
+        leaf = self._descend(key)[-1]
+        position = bisect.bisect_left(leaf.keys, key)
+        return position < len(leaf.keys) and leaf.keys[position] == key
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _descend(self, key):
+        """Return the node path from root to the leaf that may hold ``key``."""
+        path = [self._root]
+        node = self._root
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, key)
+            node = node.children[position]
+            path.append(node)
+        return path
+
+    def search(self, key):
+        """Return ``(value, nodes_visited)``; value is None on a miss.
+
+        ``nodes_visited`` counts every node touched during the descent —
+        the cost-model unit for a global-directory probe.
+        """
+        node = self._root
+        visited = 1
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, key)
+            node = node.children[position]
+            visited += 1
+        position = bisect.bisect_left(node.keys, key)
+        if position < len(node.keys) and node.keys[position] == key:
+            return node.values[position], visited
+        return None, visited
+
+    def get(self, key, default=None):
+        value, _ = self.search(key)
+        return default if value is None and not self._leaf_has(key) else value
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value):
+        """Insert or replace ``key``."""
+        path = self._descend(key)
+        leaf = path[-1]
+        position = bisect.bisect_left(leaf.keys, key)
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            leaf.values[position] = value
+            return
+        leaf.keys.insert(position, key)
+        leaf.values.insert(position, value)
+        self._size += 1
+        if len(leaf.keys) > self.order:
+            self._split(path)
+
+    def _split(self, path):
+        node = path[-1]
+        parents = path[:-1]
+        while len(node.keys) > self.order:
+            middle = len(node.keys) // 2
+            right = _Node(is_leaf=node.is_leaf)
+            if node.is_leaf:
+                right.keys = node.keys[middle:]
+                right.values = node.values[middle:]
+                node.keys = node.keys[:middle]
+                node.values = node.values[:middle]
+                right.next_leaf = node.next_leaf
+                node.next_leaf = right
+                separator = right.keys[0]
+            else:
+                separator = node.keys[middle]
+                right.keys = node.keys[middle + 1:]
+                right.children = node.children[middle + 1:]
+                node.keys = node.keys[:middle]
+                node.children = node.children[:middle + 1]
+            if parents:
+                parent = parents.pop()
+                position = bisect.bisect_right(parent.keys, separator)
+                parent.keys.insert(position, separator)
+                parent.children.insert(position + 1, right)
+                node = parent
+            else:
+                new_root = _Node(is_leaf=False)
+                new_root.keys = [separator]
+                new_root.children = [node, right]
+                self._root = new_root
+                self.height += 1
+                return
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key):
+        """Remove ``key``; returns True when it was present."""
+        path = []
+        positions = []
+        node = self._root
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, key)
+            path.append(node)
+            positions.append(position)
+            node = node.children[position]
+        position = bisect.bisect_left(node.keys, key)
+        if position >= len(node.keys) or node.keys[position] != key:
+            return False
+        node.keys.pop(position)
+        node.values.pop(position)
+        self._size -= 1
+        self._rebalance(node, path, positions)
+        return True
+
+    @property
+    def _min_keys(self):
+        return self.order // 2
+
+    def _rebalance(self, node, path, positions):
+        while path and len(node.keys) < self._min_keys:
+            parent = path[-1]
+            index = positions[-1]
+            left = parent.children[index - 1] if index > 0 else None
+            right = parent.children[index + 1] if index + 1 < len(parent.children) else None
+
+            if left is not None and len(left.keys) > self._min_keys:
+                self._borrow_from_left(parent, index, left, node)
+                return
+            if right is not None and len(right.keys) > self._min_keys:
+                self._borrow_from_right(parent, index, node, right)
+                return
+            if left is not None:
+                self._merge(parent, index - 1, left, node)
+            else:
+                self._merge(parent, index, node, right)
+            node = parent
+            path.pop()
+            positions.pop()
+
+        if not self._root.is_leaf and len(self._root.keys) == 0:
+            self._root = self._root.children[0]
+            self.height -= 1
+
+    @staticmethod
+    def _borrow_from_left(parent, index, left, node):
+        if node.is_leaf:
+            node.keys.insert(0, left.keys.pop())
+            node.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = node.keys[0]
+        else:
+            node.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            node.children.insert(0, left.children.pop())
+
+    @staticmethod
+    def _borrow_from_right(parent, index, node, right):
+        if node.is_leaf:
+            node.keys.append(right.keys.pop(0))
+            node.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            node.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            node.children.append(right.children.pop(0))
+
+    @staticmethod
+    def _merge(parent, left_index, left, right):
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_index)
+        parent.children.pop(left_index + 1)
+
+    # ------------------------------------------------------------------
+    # iteration / introspection
+    # ------------------------------------------------------------------
+
+    def _first_leaf(self):
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def items(self):
+        """Yield ``(key, value)`` in ascending key order."""
+        leaf = self._first_leaf()
+        while leaf is not None:
+            for key, value in zip(leaf.keys, leaf.values):
+                yield key, value
+            leaf = leaf.next_leaf
+
+    def keys(self):
+        for key, _ in self.items():
+            yield key
+
+    def range(self, low, high):
+        """Yield ``(key, value)`` with ``low <= key < high``."""
+        node = self._root
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, low)
+            node = node.children[position]
+        while node is not None:
+            for key, value in zip(node.keys, node.values):
+                if key < low:
+                    continue
+                if key >= high:
+                    return
+                yield key, value
+            node = node.next_leaf
+
+    def node_count(self):
+        """Total node count (for memory accounting and invariants)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def check_invariants(self):
+        """Raise AssertionError when any B+ tree invariant is violated.
+
+        Used by the property-based tests: keys sorted within nodes, node
+        occupancy bounds, uniform leaf depth, leaf chain consistency, and
+        routing keys separating subtrees correctly.
+        """
+        leaf_depths = set()
+
+        def walk(node, depth, low, high):
+            assert node.keys == sorted(node.keys), "unsorted keys"
+            for key in node.keys:
+                assert (low is None or key >= low) and (
+                    high is None or key < high
+                ), "routing violation"
+            if node is not self._root:
+                minimum = 1 if node.is_leaf else self._min_keys
+                # Leaves may legitimately run down to 1 key only when the
+                # tree has a single leaf; otherwise they obey min occupancy.
+                if self._root.is_leaf:
+                    minimum = 0
+                assert len(node.keys) >= min(minimum, self._min_keys) or (
+                    node.is_leaf and self._size < self._min_keys
+                ), "underfull node"
+            assert len(node.keys) <= self.order, "overfull node"
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                assert len(node.values) == len(node.keys)
+            else:
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [low] + list(node.keys) + [high]
+                for i, child in enumerate(node.children):
+                    walk(child, depth + 1, bounds[i], bounds[i + 1])
+
+        walk(self._root, 1, None, None)
+        assert len(leaf_depths) == 1, "leaves at differing depths"
+        chained = list(self.keys())
+        assert chained == sorted(chained), "leaf chain out of order"
+        assert len(chained) == self._size, "size mismatch"
+
+    def __repr__(self):
+        return "<BPlusTree order=%d size=%d height=%d>" % (
+            self.order,
+            self._size,
+            self.height,
+        )

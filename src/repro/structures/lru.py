@@ -1,0 +1,105 @@
+"""Small local caches for the TEA transition function.
+
+The paper's "local cache" speeds up transitions from one trace to another:
+each trace-exit state remembers where recent exits landed, avoiding the
+global directory probe.  Two geometries are provided — the ablation bench
+``bench_ablation_cache_size`` sweeps both:
+
+- :class:`LRUCache`: fully associative with least-recently-used eviction
+  (``collections.OrderedDict`` based).
+- :class:`DirectMappedCache`: a fixed array indexed by a key hash, one
+  entry per set — closest to what an inlined code stub would implement.
+"""
+
+from collections import OrderedDict
+
+_MISS = object()
+
+
+class LRUCache:
+    """Fully associative LRU cache of bounded capacity."""
+
+    __slots__ = ("capacity", "_entries", "hits", "misses")
+
+    def __init__(self, capacity):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key):
+        """Return the cached value or ``None``; updates recency and stats."""
+        entries = self._entries
+        value = entries.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def insert(self, key, value):
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def invalidate(self, key):
+        self._entries.pop(key, None)
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+
+class DirectMappedCache:
+    """Direct-mapped cache: ``slots`` entries, conflict misses evict."""
+
+    __slots__ = ("slots", "_keys", "_values", "hits", "misses")
+
+    def __init__(self, slots):
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        self.slots = slots
+        self._keys = [None] * slots
+        self._values = [None] * slots
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key):
+        index = key % self.slots
+        if self._keys[index] == key:
+            self.hits += 1
+            return self._values[index]
+        self.misses += 1
+        return None
+
+    def insert(self, key, value):
+        index = key % self.slots
+        self._keys[index] = key
+        self._values[index] = value
+
+    def invalidate(self, key):
+        index = key % self.slots
+        if self._keys[index] == key:
+            self._keys[index] = None
+            self._values[index] = None
+
+    def clear(self):
+        self._keys = [None] * self.slots
+        self._values = [None] * self.slots
+
+    def __len__(self):
+        return sum(1 for key in self._keys if key is not None)
+
+    def __contains__(self, key):
+        return self._keys[key % self.slots] == key

@@ -1,0 +1,15 @@
+"""Command-line tools mirroring the paper's experimental binaries.
+
+``python -m repro.tools <command>``:
+
+- ``record`` — run a program (a named benchmark or an SX86 source file)
+  under the StarDBT baseline and serialize the recorded traces, exactly
+  what the paper's StarDBT side produced;
+- ``replay`` — load a trace file and replay it via TEA under MiniPin,
+  reporting coverage, slowdown and optionally a profile — the paper's
+  pintool;
+- ``info`` — summarize a trace file (traces, TBBs, sizes, savings).
+
+The two sides communicate only through the trace file, so they can run
+in different processes — the cross-environment workflow of Section 3.1.
+"""

@@ -1,0 +1,169 @@
+"""CLI entry point for the record/replay/info tools.
+
+Examples::
+
+    python -m repro.tools record --benchmark 176.gcc --out traces.json
+    python -m repro.tools record --source program.s --strategy tt --out t.json
+    python -m repro.tools replay --benchmark 176.gcc --traces traces.json
+    python -m repro.tools replay --source program.s --traces t.json \\
+        --config no_global_local --profile
+    python -m repro.tools info --traces traces.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.cfg.basic_block import BlockIndex
+from repro.core import MemoryModel, ReplayConfig, TeaProfile
+from repro.dbt import StarDBT
+from repro.errors import ReproError
+from repro.isa import assemble
+from repro.pin import Pin, TeaReplayTool, run_native
+from repro.traces import STRATEGIES, load_trace_set, save_trace_set
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import BENCHMARKS, load_benchmark
+
+CONFIGS = {
+    "global_local": ReplayConfig.global_local,
+    "global_no_local": ReplayConfig.global_no_local,
+    "no_global_local": ReplayConfig.no_global_local,
+    "no_global_no_local": ReplayConfig.no_global_no_local,
+}
+
+
+def _add_program_arguments(parser):
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--benchmark", choices=sorted(BENCHMARKS),
+        help="one of the 26 built-in SPEC-shaped workloads",
+    )
+    group.add_argument("--source", help="an SX86 assembly source file")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale (benchmarks only; default 1.0)",
+    )
+
+
+def _load_program(args):
+    if args.benchmark:
+        return load_benchmark(args.benchmark, scale=args.scale).program
+    with open(args.source) as handle:
+        return assemble(handle.read())
+
+
+def _cmd_record(args):
+    program = _load_program(args)
+    limits = RecorderLimits(hot_threshold=args.threshold)
+    runtime = StarDBT(program, strategy=args.strategy, limits=limits)
+    result = runtime.run()
+    save_trace_set(result.trace_set, args.out)
+    model = MemoryModel()
+    dbt_kb, tea_kb, savings = model.table1_row(result.trace_set)
+    print("executed %d instructions under the DBT (%.2f Mcycles)"
+          % (result.instrs_dbt, result.megacycles))
+    print("recorded %d %s traces (%d TBBs), coverage %.1f%%"
+          % (len(result.trace_set), args.strategy.upper(),
+             result.trace_set.n_tbbs, 100 * result.coverage))
+    print("representation: DBT %.1f KB / TEA %.1f KB (%.0f%% savings)"
+          % (dbt_kb, tea_kb, 100 * savings))
+    print("traces written to %s" % args.out)
+    return 0
+
+
+def _cmd_replay(args):
+    program = _load_program(args)
+    trace_set = load_trace_set(args.traces, BlockIndex(program))
+    profile = TeaProfile() if args.profile else None
+    tool = TeaReplayTool(
+        trace_set=trace_set,
+        config=CONFIGS[args.config](),
+        profile=profile,
+        link_traces=args.link_traces,
+    )
+    result = Pin(program, tool=tool).run()
+    native = run_native(program)
+    stats = tool.stats
+    print("loaded %d traces; TEA: %d states, %d transitions"
+          % (len(trace_set), tool.tea.n_states, tool.tea.n_transitions))
+    print("replay coverage %.1f%% (%d of %d Pin-counted instructions)"
+          % (100 * tool.coverage, stats.covered_pin, stats.total_pin))
+    print("time %.2f Mcycles (%.1fx native), config %s"
+          % (result.megacycles, result.cycles / native.cycles,
+             tool.config.describe()))
+    print("transition function: %d in-trace hits, %d cache hits, "
+          "%d directory probes, %d NTE blocks"
+          % (stats.in_trace_hits, stats.cache_hits,
+             stats.directory_hits + stats.directory_misses,
+             stats.nte_probes))
+    if profile is not None:
+        by_sid = {state.sid: state for state in tool.tea.states}
+        print("hottest trace blocks:")
+        for sid, count in profile.hottest_states(args.top):
+            print("  %-24s x%d" % (by_sid[sid].name, count))
+    return 0
+
+
+def _cmd_info(args):
+    with open(args.traces) as handle:
+        document = json.load(handle)
+    traces = document.get("traces", [])
+    n_tbbs = sum(len(t["tbbs"]) for t in traces)
+    n_edges = sum(len(t["edges"]) for t in traces)
+    print("trace file: %s (format v%s, kind %s)"
+          % (args.traces, document.get("version"), document.get("kind")))
+    print("%d traces, %d TBBs, %d edges" % (len(traces), n_tbbs, n_edges))
+    for trace in traces[:args.top]:
+        print("  T%-4s kind=%-5s entry=%#x  %d TBBs %d edges"
+              % (trace["id"], trace["kind"], trace["tbbs"][0]["start"],
+                 len(trace["tbbs"]), len(trace["edges"])))
+    if len(traces) > args.top:
+        print("  ... and %d more" % (len(traces) - args.top))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="record / replay / inspect TEA trace files",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser("record", help="record traces under the DBT")
+    _add_program_arguments(record)
+    record.add_argument("--strategy", choices=sorted(STRATEGIES),
+                        default="mret")
+    record.add_argument("--threshold", type=int, default=30,
+                        help="hot threshold (default 30)")
+    record.add_argument("--out", required=True, help="trace file to write")
+
+    replay = commands.add_parser("replay", help="replay traces via TEA")
+    _add_program_arguments(replay)
+    replay.add_argument("--traces", required=True, help="trace file to load")
+    replay.add_argument("--config", choices=sorted(CONFIGS),
+                        default="global_local")
+    replay.add_argument("--profile", action="store_true",
+                        help="collect and print a per-TBB profile")
+    replay.add_argument("--link-traces", action="store_true",
+                        help="materialise static trace-to-trace transitions")
+    replay.add_argument("--top", type=int, default=8,
+                        help="profile entries to print")
+
+    info = commands.add_parser("info", help="summarize a trace file")
+    info.add_argument("--traces", required=True)
+    info.add_argument("--top", type=int, default=10)
+
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    try:
+        if args.command == "record":
+            return _cmd_record(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
+        return _cmd_info(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Trace models and trace-selection strategies.
+
+Implements the paper's Definitions 1-3 (:mod:`repro.traces.model`) and the
+trace-recording strategies evaluated in Table 1 plus one related-work
+extension:
+
+- :mod:`repro.traces.mret` — Most Recently Executed Tail (Dynamo/NET),
+  the strategy used for the Table 2/3 experiments.
+- :mod:`repro.traces.trace_tree` — Trace Trees (Gal & Franz): anchored at
+  loop headers, paths always end with a branch to the anchor, side exits
+  duplicate tails (the Table 1 blowup on branchy integer codes).
+- :mod:`repro.traces.compact_trace_tree` — Compact Trace Trees (Porto et
+  al.): tree paths may also terminate at loop headers on the path and may
+  link into already-recorded nodes, curbing TT's duplication.
+- :mod:`repro.traces.mfet` — Most Frequently Executed Tail (extension;
+  edge-profile triggered, mentioned in the paper's related work).
+
+All recorders consume :class:`~repro.cfg.builder.BlockTransition` streams
+and produce a :class:`~repro.traces.model.TraceSet`.
+"""
+
+from repro.traces.compact_trace_tree import CompactTraceTreeRecorder
+from repro.traces.mfet import MFETRecorder
+from repro.traces.model import TBB, Trace, TraceSet
+from repro.traces.mret import MRETRecorder
+from repro.traces.recorder import RecorderLimits, TraceRecorder
+from repro.traces.serialization import (
+    load_trace_set,
+    save_trace_set,
+    trace_set_from_json,
+    trace_set_to_json,
+)
+from repro.traces.stats import TraceSetStats, compare_strategies, compute_stats
+from repro.traces.trace_tree import TraceTreeRecorder
+
+#: Strategy name -> recorder class, as used by Table 1.
+STRATEGIES = {
+    "mret": MRETRecorder,
+    "ctt": CompactTraceTreeRecorder,
+    "tt": TraceTreeRecorder,
+    "mfet": MFETRecorder,
+}
+
+
+def make_recorder(strategy, **kwargs):
+    """Instantiate a recorder by strategy name ('mret', 'ctt', 'tt', 'mfet')."""
+    try:
+        recorder_cls = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            "unknown strategy %r (expected one of %s)"
+            % (strategy, ", ".join(sorted(STRATEGIES)))
+        ) from None
+    return recorder_cls(**kwargs)
+
+
+__all__ = [
+    "TBB",
+    "Trace",
+    "TraceSet",
+    "TraceRecorder",
+    "RecorderLimits",
+    "MRETRecorder",
+    "MFETRecorder",
+    "TraceTreeRecorder",
+    "CompactTraceTreeRecorder",
+    "STRATEGIES",
+    "make_recorder",
+    "save_trace_set",
+    "load_trace_set",
+    "trace_set_to_json",
+    "trace_set_from_json",
+    "TraceSetStats",
+    "compute_stats",
+    "compare_strategies",
+]

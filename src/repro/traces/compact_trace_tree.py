@@ -1,0 +1,27 @@
+"""CTT — Compact Trace Trees (Porto et al., AMAS-BT'09).
+
+CTT addresses the code duplication TT suffers "by allowing branch targets
+within a path to be any loop header in that path": when a recorded path
+takes a backward branch to a loop header it has already recorded, the
+path terminates successfully with a link-back edge to that TBB instead of
+unrolling the inner loop into the path (TT) or aborting.
+
+Consequences reproduced here, matching Table 1's shape:
+
+- Nested FP loop nests: CTT captures the *outer* loop structure (inner
+  loops appear once, closed by a link-back), so CTT trees are larger than
+  MRET's single-loop superblocks, while TT (which cannot close inner
+  cycles compactly) stays inner-loop-only and smallest.
+- Branchy integer loops: CTT still duplicates diamond tails on side exits
+  like TT, so it is well above MRET — but it never unrolls inner loops,
+  avoiding TT's multiplicative explosion.
+"""
+
+from repro.traces.trace_tree import TraceTreeRecorder
+
+
+class CompactTraceTreeRecorder(TraceTreeRecorder):
+    """Trace trees with loop-header path termination (see module doc)."""
+
+    kind = "ctt"
+    header_termination = True

@@ -1,0 +1,43 @@
+"""MFET — Most Frequently Executed Tail (related-work extension).
+
+MFET instruments *every* edge of the dynamic execution rather than only
+back edges, trading profiling overhead for earlier/finer trigger points
+(the paper cites UQBT; Duesterwald & Bala's "less is more" argued MRET's
+cheaper counters predict paths just as well).  It is included as the
+extension strategy: the recording rules are MRET's, but the trigger is a
+counter on every taken edge, so hot non-loop paths (e.g. frequently taken
+call targets) also become trace heads.
+"""
+
+from repro.traces.mret import MRETRecorder
+from repro.traces.recorder import STATE_CREATING
+
+
+class MFETRecorder(MRETRecorder):
+    """Edge-profile-triggered variant of the tail recorder."""
+
+    kind = "mfet"
+
+    def __init__(self, limits=None, on_trace=None):
+        super().__init__(limits=limits, on_trace=on_trace)
+        self._edge_counters = {}
+
+    def _observe_executing(self, transition):
+        self._cursor_step(transition)
+        event = transition.event
+        if event is None or not event.taken:
+            return
+        if self.budget_exhausted or self._total_budget_left() <= 0:
+            return
+        if self.traces.has_entry(event.target):
+            return
+        key = (event.pc, event.target)
+        count = self._edge_counters.get(key, 0) + 1
+        self._edge_counters[key] = count
+        if count == self.limits.hot_threshold:
+            self._edge_counters[key] = 0
+            self._current = self.traces.new_trace(kind=self.kind,
+                                                  anchor=event.target)
+            self._seen_starts = set()
+            self._exec_cursor = None
+            self.state = STATE_CREATING

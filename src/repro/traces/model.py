@@ -1,0 +1,219 @@
+"""Trace data model: the paper's Definitions 1-3.
+
+- Definition 1 (Basic Block) is :class:`~repro.cfg.basic_block.BasicBlock`.
+- Definition 2 (Trace Basic Block): :class:`TBB` — an *instance* of a BB in
+  a trace.  The same BB occurring in two traces (or twice in one trace
+  tree) yields distinct TBBs, written ``$$T<id>.<addr>`` as in the paper's
+  ``$$T1.next`` / ``$$T2.next`` notation.
+- Definition 3 (Trace): :class:`Trace` — a collection of TBBs plus the
+  control-flow edges between them, general enough for superblocks (MRET
+  chains) and trace trees (TT/CTT) alike.
+
+A :class:`TraceSet` is what a recording run produces and what both the
+DBT code cache and Algorithm 1 consume.
+"""
+
+from repro.errors import TraceError
+
+
+class TBB:
+    """One occurrence of a basic block inside a trace (Definition 2).
+
+    ``successors`` maps a *label* — the program counter that triggers the
+    transition, i.e. the successor block's start address — to the index of
+    the successor TBB within the same trace.  This is exactly the labelled
+    transition relation Algorithm 1 lifts into the TEA.
+    """
+
+    __slots__ = ("trace_id", "index", "block", "successors")
+
+    def __init__(self, trace_id, index, block):
+        self.trace_id = trace_id
+        self.index = index
+        self.block = block
+        self.successors = {}
+
+    @property
+    def start(self):
+        return self.block.start
+
+    @property
+    def name(self):
+        """Paper-style unique name, e.g. ``$$T1.0x8048010``."""
+        return "$$T%d.%#x" % (self.trace_id, self.block.start)
+
+    def exit_labels(self):
+        """Statically known successor addresses *not* covered by in-trace
+        edges — the side exits that become NTE (or trace-entry)
+        transitions and, in a DBT, exit stubs."""
+        terminator = self.block.terminator
+        if terminator is None or not terminator.is_control:
+            candidates = ()
+            if terminator is not None:
+                candidates = (terminator.fallthrough,)
+        elif terminator.is_conditional:
+            candidates = (terminator.target, terminator.fallthrough)
+        elif terminator.is_ret or terminator.is_indirect:
+            # Unknown statically; modelled as one exit stub.
+            return (None,)
+        elif terminator.opcode == "hlt":
+            return ()
+        else:
+            candidates = (terminator.target,)
+        return tuple(addr for addr in candidates if addr not in self.successors)
+
+    def __repr__(self):
+        return "<TBB %s %d succs>" % (self.name, len(self.successors))
+
+
+class Trace:
+    """A recorded trace (Definition 3): TBBs plus labelled edges."""
+
+    __slots__ = ("trace_id", "kind", "tbbs", "anchor")
+
+    def __init__(self, trace_id, kind, anchor=None):
+        self.trace_id = trace_id
+        self.kind = kind
+        self.tbbs = []
+        self.anchor = anchor
+
+    @property
+    def entry(self):
+        if not self.tbbs:
+            raise TraceError("empty trace T%d has no entry" % self.trace_id)
+        return self.tbbs[0].block.start
+
+    def add_block(self, block):
+        """Append a new TBB for ``block``; returns it."""
+        tbb = TBB(self.trace_id, len(self.tbbs), block)
+        self.tbbs.append(tbb)
+        return tbb
+
+    def add_edge(self, from_index, to_index):
+        """Record the in-trace edge ``from -> to``.
+
+        The label is the successor TBB's start address (the PC that
+        triggers the transition).  Determinism is enforced: one label maps
+        to at most one successor per TBB.
+        """
+        source = self.tbbs[from_index]
+        destination = self.tbbs[to_index]
+        label = destination.block.start
+        existing = source.successors.get(label)
+        if existing is not None and existing != to_index:
+            raise TraceError(
+                "nondeterministic edge from %s on label %#x"
+                % (source.name, label)
+            )
+        source.successors[label] = to_index
+
+    def __len__(self):
+        return len(self.tbbs)
+
+    def __iter__(self):
+        return iter(self.tbbs)
+
+    @property
+    def n_instructions(self):
+        return sum(tbb.block.n_instrs for tbb in self.tbbs)
+
+    @property
+    def code_bytes(self):
+        """Bytes of original code the trace replicates."""
+        return sum(tbb.block.size_bytes for tbb in self.tbbs)
+
+    @property
+    def n_edges(self):
+        return sum(len(tbb.successors) for tbb in self.tbbs)
+
+    @property
+    def n_side_exits(self):
+        return sum(len(tbb.exit_labels()) for tbb in self.tbbs)
+
+    def validate(self):
+        """Check structural invariants; raises :class:`TraceError`."""
+        if not self.tbbs:
+            raise TraceError("trace T%d is empty" % self.trace_id)
+        for position, tbb in enumerate(self.tbbs):
+            if tbb.index != position:
+                raise TraceError("TBB index mismatch in T%d" % self.trace_id)
+            for label, successor in tbb.successors.items():
+                if not 0 <= successor < len(self.tbbs):
+                    raise TraceError(
+                        "dangling edge %s -> #%d" % (tbb.name, successor)
+                    )
+                if self.tbbs[successor].block.start != label:
+                    raise TraceError(
+                        "edge label %#x does not match successor start %#x"
+                        % (label, self.tbbs[successor].block.start)
+                    )
+
+    def __repr__(self):
+        return "<Trace T%d kind=%s blocks=%d edges=%d>" % (
+            self.trace_id,
+            self.kind,
+            len(self.tbbs),
+            self.n_edges,
+        )
+
+
+class TraceSet:
+    """All traces recorded for one program run."""
+
+    def __init__(self, kind=None):
+        self.kind = kind
+        self.traces = []
+        self.by_entry = {}
+
+    def new_trace(self, kind=None, anchor=None):
+        trace = Trace(len(self.traces) + 1, kind or self.kind or "?", anchor=anchor)
+        return trace
+
+    def add(self, trace):
+        """Commit a finished trace; rejects duplicate entry addresses."""
+        trace.validate()
+        entry = trace.entry
+        if entry in self.by_entry:
+            raise TraceError("duplicate trace entry %#x" % entry)
+        self.traces.append(trace)
+        self.by_entry[entry] = trace
+        return trace
+
+    def has_entry(self, addr):
+        return addr in self.by_entry
+
+    def trace_at(self, addr):
+        return self.by_entry.get(addr)
+
+    def __len__(self):
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    @property
+    def n_tbbs(self):
+        return sum(len(trace) for trace in self.traces)
+
+    @property
+    def n_edges(self):
+        return sum(trace.n_edges for trace in self.traces)
+
+    @property
+    def n_side_exits(self):
+        return sum(trace.n_side_exits for trace in self.traces)
+
+    @property
+    def code_bytes(self):
+        return sum(trace.code_bytes for trace in self.traces)
+
+    def validate(self):
+        for trace in self.traces:
+            trace.validate()
+
+    def __repr__(self):
+        return "<TraceSet kind=%s traces=%d tbbs=%d>" % (
+            self.kind,
+            len(self.traces),
+            self.n_tbbs,
+        )

@@ -1,0 +1,116 @@
+"""MRET — Most Recently Executed Tail (Dynamo / NET).
+
+The strategy the paper uses for its Table 2/3 experiments.  Counters sit
+on targets of *backward taken branches only* ("less is more"); when a
+target's counter crosses the hot threshold, the very next execution path
+from that target is recorded as a superblock.  Recording ends when the
+path:
+
+- branches back to the trace head (the loop closes — a cycle edge is
+  added, the common case for hot loops);
+- takes any other backward branch (a different cycle: end without edge);
+- reaches the head of an existing trace (traces link, not grow);
+- revisits a block already in this trace (irreducible flow guard); or
+- hits the block-count limit.
+"""
+
+from repro.traces.recorder import (
+    STATE_CREATING,
+    STATE_EXECUTING,
+    TraceRecorder,
+)
+
+
+class MRETRecorder(TraceRecorder):
+    """Records superblock traces from hot backward-branch targets."""
+
+    kind = "mret"
+
+    def __init__(self, limits=None, on_trace=None):
+        super().__init__(limits=limits, on_trace=on_trace)
+        self._current = None
+        self._seen_starts = None
+
+    # -- Executing ------------------------------------------------------
+
+    def _observe_executing(self, transition):
+        # Dynamo's two start-of-trace conditions: the target of a backward
+        # taken branch, or the target of a side exit from an existing
+        # trace (this second rule is what records T2 in Figure 2: T2
+        # begins at $$inc, T1's side-exit target).
+        exit_to_cold = self._cursor_step(transition)
+        event = transition.event
+        if event is None:
+            return
+        candidate = None
+        if event.is_backward:
+            candidate = event.target
+        elif exit_to_cold:
+            candidate = transition.next_start
+        if candidate is None:
+            return
+        if self.budget_exhausted or self._total_budget_left() <= 0:
+            return
+        if self.traces.has_entry(candidate):
+            return
+        if self._bump_hot_addr(candidate):
+            # StartCreatingTrace: the next completed block begins at the
+            # hot target and becomes the trace head.
+            self._current = self.traces.new_trace(kind=self.kind,
+                                                  anchor=candidate)
+            self._seen_starts = set()
+            self._exec_cursor = None
+            self.state = STATE_CREATING
+
+    # -- Creating -------------------------------------------------------
+
+    def _observe_creating(self, transition):
+        trace = self._current
+        block = transition.block
+
+        # AddTBBToTrace
+        trace.add_block(block)
+        self._seen_starts.add(block.start)
+        if len(trace) > 1:
+            trace.add_edge(len(trace.tbbs) - 2, len(trace.tbbs) - 1)
+
+        if self._done_recording(transition):
+            self._finish_trace(transition)
+
+    def _done_recording(self, transition):
+        event = transition.event
+        trace = self._current
+        if event is None:
+            return True  # program ended mid-recording
+        next_start = transition.next_start
+        if next_start == trace.entry:
+            return True  # loop closed
+        if event.is_backward:
+            return True  # someone else's cycle
+        if self.traces.has_entry(next_start):
+            return True  # reached an existing trace
+        if next_start in self._seen_starts:
+            return True  # internal revisit (irreducible flow)
+        if len(trace) >= self.limits.max_trace_blocks:
+            return True
+        if self._total_budget_left() <= len(trace):
+            return True
+        return False
+
+    def _finish_trace(self, transition):
+        trace = self._current
+        if transition.next_start is not None and transition.next_start == trace.entry:
+            # The superblock cycles back to its own head: $$Tn.last ->
+            # $$Tn.head, exactly the Figure 3 cycle edge.
+            trace.add_edge(len(trace.tbbs) - 1, 0)
+        self._commit(trace)
+        self._current = None
+        self._seen_starts = None
+        self.state = STATE_EXECUTING
+
+    def _finish_pending(self):
+        trace = self._current
+        if trace is not None and len(trace) > 0:
+            self._commit(trace)
+        self._current = None
+        self._seen_starts = None

@@ -1,0 +1,95 @@
+"""Trace-set serialization.
+
+The paper's headline use case is building traces in one system (StarDBT)
+and replaying them in another (a pintool): "our pintool ... loads traces
+from a input file and uses the traces for program execution."  This module
+is that input-file format: a small, versioned JSON document carrying every
+TBB (by block address span) and every labelled edge.
+
+Loading reconstructs block metadata against a program image through a
+:class:`~repro.cfg.basic_block.BlockIndex`, which re-derives instruction
+counts and byte sizes — so a trace file is portable across environments
+that agree only on the program's address space, exactly like the paper's
+StarDBT -> Pin hand-off.
+"""
+
+import json
+
+from repro.errors import SerializationError
+from repro.traces.model import Trace, TraceSet
+
+FORMAT_VERSION = 1
+
+
+def trace_set_to_json(trace_set):
+    """Render a :class:`~repro.traces.model.TraceSet` as a JSON-able dict."""
+    traces = []
+    for trace in trace_set:
+        traces.append(
+            {
+                "id": trace.trace_id,
+                "kind": trace.kind,
+                "anchor": trace.anchor,
+                "tbbs": [
+                    {"start": tbb.block.start, "end": tbb.block.end}
+                    for tbb in trace.tbbs
+                ],
+                "edges": [
+                    [tbb.index, successor, label]
+                    for tbb in trace.tbbs
+                    for label, successor in sorted(tbb.successors.items())
+                ],
+            }
+        )
+    return {"version": FORMAT_VERSION, "kind": trace_set.kind, "traces": traces}
+
+
+def trace_set_from_json(document, block_index):
+    """Rebuild a trace set from :func:`trace_set_to_json` output.
+
+    ``block_index`` must be backed by the same program image the traces
+    were recorded against; every block span is re-interned through it.
+    """
+    try:
+        version = document["version"]
+        if version != FORMAT_VERSION:
+            raise SerializationError("unsupported trace format v%s" % version)
+        trace_set = TraceSet(kind=document.get("kind"))
+        for payload in document["traces"]:
+            trace = Trace(payload["id"], payload["kind"],
+                          anchor=payload.get("anchor"))
+            for span in payload["tbbs"]:
+                trace.add_block(block_index.block(span["start"], span["end"]))
+            for from_index, to_index, label in payload["edges"]:
+                trace.add_edge(from_index, to_index)
+                if trace.tbbs[to_index].block.start != label:
+                    raise SerializationError(
+                        "edge label %#x inconsistent in trace %s"
+                        % (label, payload["id"])
+                    )
+            trace_set.traces.append(trace)
+            if trace.entry in trace_set.by_entry:
+                raise SerializationError(
+                    "duplicate trace entry %#x" % trace.entry
+                )
+            trace_set.by_entry[trace.entry] = trace
+        trace_set.validate()
+        return trace_set
+    except (KeyError, TypeError, IndexError) as error:
+        raise SerializationError("malformed trace document: %s" % error) from None
+
+
+def save_trace_set(trace_set, path):
+    """Write a trace set to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(trace_set_to_json(trace_set), handle)
+
+
+def load_trace_set(path, block_index):
+    """Read a trace set previously written by :func:`save_trace_set`."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SerializationError("cannot read %s: %s" % (path, error)) from None
+    return trace_set_from_json(document, block_index)

@@ -1,0 +1,90 @@
+"""Compose kernels into a runnable benchmark program.
+
+A :class:`~repro.workloads.spec.BenchmarkSpec` lists kernel descriptors;
+the generator instantiates each (with a deterministic per-kernel RNG
+seeded from the spec), lays them out as procedures, and emits a ``main``
+that calls them in order — sequential kernels are the program's *phases*.
+``scale`` multiplies hot-loop trip counts so the same workload can run
+at smoke-test size or at paper size.
+"""
+
+import random
+
+from repro.errors import WorkloadError
+from repro.isa import assemble
+from repro.workloads.kernels import KERNEL_KINDS
+
+#: Spec parameters that scale with the workload size knob.
+_SCALED_PARAMS = ("iters", "outer_iters")
+
+
+class WorkloadProgram:
+    """A generated benchmark: the program plus provenance."""
+
+    def __init__(self, name, program, source, spec=None, scale=1.0):
+        self.name = name
+        self.program = program
+        self.source = source
+        self.spec = spec
+        self.scale = scale
+
+    def __repr__(self):
+        return "<WorkloadProgram %s: %d instructions of code>" % (
+            self.name,
+            len(self.program),
+        )
+
+
+def build_workload_program(spec, scale=1.0):
+    """Instantiate ``spec`` at ``scale``; returns :class:`WorkloadProgram`."""
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    rng = random.Random(spec.seed)
+    text_sections = []
+    data_sections = []
+    entries = []
+    index = 0
+    for descriptor in spec.kernels:
+        descriptor = dict(descriptor)
+        kind = descriptor.pop("kind")
+        repeat = descriptor.pop("repeat", 1)
+        cold = descriptor.pop("cold", False)
+        builder = KERNEL_KINDS.get(kind)
+        if builder is None:
+            raise WorkloadError(
+                "unknown kernel kind %r in %s" % (kind, spec.name)
+            )
+        if cold:
+            # Cold/lukewarm code must keep its sub-threshold trip counts;
+            # its share of the run scales through *more distinct kernels*
+            # (exactly how large cold footprints behave in real codes).
+            repeat = max(1, int(round(repeat * scale)))
+        for _ in range(repeat):
+            params = dict(descriptor)
+            if not cold:
+                for name in _SCALED_PARAMS:
+                    if name in params:
+                        jitter = rng.uniform(0.8, 1.25) if repeat > 1 else 1.0
+                        params[name] = max(2, int(params[name] * scale * jitter))
+            prefix = "k%d" % index
+            index += 1
+            kernel_rng = random.Random((spec.seed << 16) ^ (index * 2654435761))
+            kernel = builder(prefix, kernel_rng, **params)
+            text_sections.append("\n".join(kernel.text))
+            if kernel.data:
+                data_sections.append("\n".join(kernel.data))
+            entries.append(kernel.entry_label)
+
+    main_lines = ["main:"]
+    for entry in entries:
+        main_lines.append("    call %s" % entry)
+    main_lines.append("    hlt")
+
+    source_parts = ["\n".join(main_lines)]
+    source_parts.extend(text_sections)
+    if data_sections:
+        source_parts.append(".data")
+        source_parts.extend(data_sections)
+    source = "\n".join(source_parts) + "\n"
+    program = assemble(source)
+    return WorkloadProgram(spec.name, program, source, spec=spec, scale=scale)

@@ -1,0 +1,549 @@
+"""Parametric SX86 assembly kernels.
+
+Every kernel is emitted as a callable procedure (``<prefix>_entry`` ...
+``ret``) plus optional data lines; the generator stitches kernels into a
+program.  Kernels deliberately produce the control-flow shapes the trace
+strategies react to:
+
+- :func:`counted_nest` — FP-style perfectly nested counted loops with
+  straight-line bodies (big blocks, single path: small MRET superblocks,
+  TT stays inner-loop-only because unrolled inner loops overflow the path
+  limit, CTT captures the whole nest via header link-backs).
+- :func:`branchy_loop` — a hot loop whose body crosses ``diamonds``
+  data-dependent if/else splits driven by an in-assembly LCG (many paths:
+  MRET records one per hot side exit, TT/CTT duplicate tails).
+- :func:`branchy_nest` — small-trip-count branchy inner loop inside a hot
+  outer loop: TT unrolls the inner loop into its paths and explodes
+  (the bzip2/gzip rows of Table 1).
+- :func:`switch_loop` — indirect-jump dispatch over a jump table
+  (interpreter-style; perlbmk/gap), defeating static successor knowledge.
+- :func:`call_loop` — direct or indirect (table-selected) calls in a hot
+  loop (eon's virtual dispatch).
+- :func:`rep_copy_loop` — REP MOVSD in a loop; placed in *cold* code it
+  reproduces the mesa coverage quirk of Section 4.1 (Pin counts REP
+  iterations, StarDBT counts one instruction).
+- :func:`straightline` — a run-once stretch of code (cold footprint).
+
+The in-assembly PRNG is the classic LCG ``x = x*1103515245 + 12345``;
+branch decisions test individual bits of ``eax``, so paths vary per
+iteration but are fully deterministic for a given seed.
+"""
+
+from repro.isa import assemble
+
+#: Simple ALU/memory instruction templates for loop bodies.  ``{p}`` is
+#: the kernel prefix (for data labels), ``{i}`` the op ordinal.
+_BODY_OPS = (
+    "add edx, 7",
+    "xor edx, esi",
+    "add esi, 13",
+    "imul edx, 3",
+    "sub esi, 5",
+    "and edx, 16777215",
+    "or esi, 1",
+    "mov edi, [{p}_buf]",
+    "add edi, edx",
+    "mov [{p}_buf+4], edi",
+    "shl edx, 1",
+    "shr esi, 1",
+    "add edx, esi",
+    "not edx",
+    "neg esi",
+    "mov edi, [{p}_buf+8]",
+    "xor edi, 255",
+    "mov [{p}_buf+12], edi",
+)
+
+
+class KernelCode:
+    """Generated kernel: text lines, data lines and the entry label."""
+
+    def __init__(self, prefix, text, data):
+        self.prefix = prefix
+        self.text = text
+        self.data = data
+
+    @property
+    def entry_label(self):
+        return "%s_entry" % self.prefix
+
+
+def _body(prefix, n_ops, rng, start=0):
+    """``n_ops`` straight-line body instructions for one block."""
+    lines = []
+    for i in range(n_ops):
+        template = _BODY_OPS[(start + rng.randrange(len(_BODY_OPS))) % len(_BODY_OPS)]
+        lines.append("    " + template.format(p=prefix, i=i))
+    return lines
+
+
+def _lcg(prefix):
+    """Advance the LCG in eax."""
+    return [
+        "    imul eax, 1103515245",
+        "    add eax, 12345",
+    ]
+
+
+def counted_nest(prefix, rng, depth=2, outer_iters=40, inner_iters=80,
+                 body_ops=8, pre_ops=4, post_ops=4, post_diamonds=0,
+                 seed=None):
+    """Nested counted loops with straight-line inner bodies (FP style).
+
+    ``pre_ops``/``post_ops`` put real work into the *outer* loop body
+    around the inner loop (array setup, reductions), and
+    ``post_diamonds`` adds data-dependent splits there.  Those splits are
+    what differentiates the strategies on FP codes: their arms run
+    ``outer_iters/2`` times — above CTT/TT's eager extension threshold
+    but below MRET's hot threshold — so compact trace trees duplicate
+    them while MRET never traces them (the paper's swim/mgrid rows where
+    CTT > MRET > TT).
+    """
+    if seed is None:
+        seed = rng.randrange(1, 2 ** 30)
+    text = ["%s_entry:" % prefix, "    mov eax, %d" % seed]
+    data = ["%s_buf: .zero 8" % prefix, "%s_bufb: .zero 4" % prefix]
+    iters = [max(2, outer_iters)] + [max(2, inner_iters)] * (depth - 1)
+    # Open loops outermost-first, with pre-segment work at each level.
+    # Each non-outermost loop is entered through a zero-trip guard
+    # (compare + never-taken branch), like compiled for-loops: the guard
+    # ends the preceding dynamic block, so the loop header is a block
+    # leader from the first iteration on — which is what lets CTT close
+    # inner cycles with a header link-back on its very first trunk.
+    for level, count in enumerate(iters):
+        if level > 0:
+            text.append("    push ecx")
+        text.append("    mov ecx, %d" % count)
+        if level > 0:
+            text.append("    test ecx, ecx")
+            text.append("    jz %s_l%d_guard" % (prefix, level))
+            text.append("%s_l%d_guard:" % (prefix, level))
+        text.append("%s_l%d:" % (prefix, level))
+        if level + 1 < len(iters) and pre_ops:
+            text.extend(_lcg(prefix))
+            text.extend(_body(prefix, pre_ops, rng, start=level * 5))
+    text.extend(_body(prefix, body_ops, rng))
+    for level in range(depth - 1, -1, -1):
+        text.append("    dec ecx")
+        text.append("    jnz %s_l%d" % (prefix, level))
+        if level > 0:
+            text.append("    pop ecx")
+            # Post-segment work between loop levels (imperfect nests).
+            text.extend(_body(prefix, post_ops, rng, start=level * 7))
+            for d in range(post_diamonds):
+                bit = (d * 3 + level * 5 + 2) % 24
+                text.append("    mov ebx, eax")
+                text.append("    shr ebx, %d" % bit)
+                text.append("    and ebx, 1")
+                text.append("    jnz %s_p%d_%d_else" % (prefix, level, d))
+                text.extend(_body(prefix, 3, rng, start=d))
+                text.append("    jmp %s_p%d_%d_end" % (prefix, level, d))
+                text.append("%s_p%d_%d_else:" % (prefix, level, d))
+                text.extend(_body(prefix, 3, rng, start=d + 9))
+                text.append("%s_p%d_%d_end:" % (prefix, level, d))
+    text.append("    ret")
+    return KernelCode(prefix, text, data)
+
+
+def fp_nest(prefix, rng, outer_iters=10, inner_iters=48, n_inner=2,
+            body_ops=11, pre_ops=3, post_ops=4, post_diamonds=1, seed=None):
+    """FP loop nest: a hot outer loop over ``n_inner`` *sequential*
+    fixed-trip array loops (the classic swim/applu shape: one outer time
+    step running several j-loops over arrays in turn).
+
+    Strategy differentiation, matching the paper's FP rows:
+
+    - MRET records one superblock per inner loop plus fragments of the
+      outer body — the middle of the Table 1 ordering.
+    - TT trees anchor at the inner headers, but every side-exit extension
+      back to its anchor must cross a *sibling* inner loop; unrolling
+      ``inner_iters`` fixed trips overflows the path limit, so the trees
+      never grow past the inner bodies: TT < MRET.
+    - CTT terminates those same extensions at the sibling's loop header
+      with a link-back, then builds further trees from the outer header,
+      duplicating the outer-body segments and their ``post_diamonds``
+      arms (which run ``outer_iters/2`` times — hot enough for CTT's
+      eager threshold, too cold for MRET's): CTT > MRET.
+    """
+    if seed is None:
+        seed = rng.randrange(1, 2 ** 30)
+    text = [
+        "%s_entry:" % prefix,
+        "    mov eax, %d" % seed,
+        "    mov ecx, %d" % max(2, outer_iters),
+        "%s_outer:" % prefix,
+        "    push ecx",
+    ]
+    data = ["%s_buf: .zero 8" % prefix]
+    for j in range(max(1, n_inner)):
+        text.extend(_lcg(prefix))
+        text.extend(_body(prefix, pre_ops, rng, start=j * 5))
+        text.append("    mov ecx, %d" % max(2, inner_iters))
+        text.append("    test ecx, ecx")
+        text.append("    jz %s_i%d_guard" % (prefix, j))
+        text.append("%s_i%d_guard:" % (prefix, j))
+        text.append("%s_i%d:" % (prefix, j))
+        text.extend(_body(prefix, body_ops, rng, start=j * 3))
+        text.append("    dec ecx")
+        text.append("    jnz %s_i%d" % (prefix, j))
+        text.extend(_body(prefix, post_ops, rng, start=j * 7))
+        for d in range(post_diamonds):
+            bit = (d * 3 + j * 5 + 2) % 24
+            text.append("    mov ebx, eax")
+            text.append("    shr ebx, %d" % bit)
+            text.append("    and ebx, 1")
+            text.append("    jnz %s_p%d_%d_else" % (prefix, j, d))
+            text.extend(_body(prefix, 3, rng, start=d))
+            text.append("    jmp %s_p%d_%d_end" % (prefix, j, d))
+            text.append("%s_p%d_%d_else:" % (prefix, j, d))
+            text.extend(_body(prefix, 3, rng, start=d + 9))
+            text.append("%s_p%d_%d_end:" % (prefix, j, d))
+    text.append("    pop ecx")
+    text.append("    dec ecx")
+    text.append("    jnz %s_outer" % prefix)
+    text.append("    ret")
+    return KernelCode(prefix, text, data)
+
+
+def branchy_loop(prefix, rng, iters=200, diamonds=3, body_ops=3,
+                 arm_ops=4, seed=None):
+    """One hot loop, ``diamonds`` data-dependent if/else splits."""
+    if seed is None:
+        seed = rng.randrange(1, 2 ** 30)
+    text = [
+        "%s_entry:" % prefix,
+        "    mov ecx, %d" % max(2, iters),
+        "    mov eax, %d" % seed,
+        "%s_loop:" % prefix,
+    ]
+    data = ["%s_buf: .zero 8" % prefix]
+    text.extend(_lcg(prefix))
+    text.extend(_body(prefix, body_ops, rng))
+    for d in range(diamonds):
+        bit = (d * 5 + 1) % 24
+        text.append("    mov ebx, eax")
+        text.append("    shr ebx, %d" % bit)
+        text.append("    and ebx, 1")
+        text.append("    jnz %s_d%d_else" % (prefix, d))
+        text.extend(_body(prefix, arm_ops, rng))
+        text.append("    jmp %s_d%d_end" % (prefix, d))
+        text.append("%s_d%d_else:" % (prefix, d))
+        text.extend(_body(prefix, arm_ops, rng, start=7))
+        text.append("%s_d%d_end:" % (prefix, d))
+    text.append("    dec ecx")
+    text.append("    jnz %s_loop" % prefix)
+    text.append("    ret")
+    return KernelCode(prefix, text, data)
+
+
+def branchy_nest(prefix, rng, outer_iters=120, inner_iters=5, diamonds=2,
+                 body_ops=2, arm_ops=4, n_inner=2, seed=None):
+    """Hot outer loop around ``n_inner`` sequential small-trip branchy
+    inner loops whose trip counts vary per outer iteration (LCG-driven).
+
+    This is the Table 1 explosion shape: a trace tree anchored at the
+    first inner loop must route its side-exit extensions *through the
+    sibling inner loops* back to the anchor.  TT unrolls each sibling
+    (2..inner_iters+1 iterations, data-dependent), so iteration-count
+    variants multiply with branch-direction variants — bzip2's 1.8 GB.
+    CTT instead terminates extensions at the siblings' headers (loop
+    headers on the path), and MRET just records superblocks, so the
+    ordering MRET << CTT << TT emerges.
+    """
+    if seed is None:
+        seed = rng.randrange(1, 2 ** 30)
+    text = [
+        "%s_entry:" % prefix,
+        "    mov ecx, %d" % max(2, outer_iters),
+        "    mov eax, %d" % seed,
+        "%s_outer:" % prefix,
+        "    push ecx",
+    ]
+    data = ["%s_buf: .zero 8" % prefix]
+    mask = _pow2_mask(inner_iters)
+    for j in range(max(1, n_inner)):
+        text.extend(_lcg(prefix))
+        # Trip count 2 .. inner_iters+1, varying with the LCG; the
+        # zero-trip guard makes the header a block leader immediately
+        # (see counted_nest).
+        text.append("    mov ecx, eax")
+        text.append("    shr ecx, %d" % (4 + 3 * j))
+        text.append("    and ecx, %d" % mask)
+        text.append("    add ecx, 2")
+        text.append("    test ecx, ecx")
+        text.append("    jz %s_i%d_guard" % (prefix, j))
+        text.append("%s_i%d_guard:" % (prefix, j))
+        text.append("%s_i%d:" % (prefix, j))
+        text.extend(_lcg(prefix))
+        text.extend(_body(prefix, body_ops, rng, start=j * 2))
+        for d in range(diamonds):
+            bit = (d * 7 + j * 11 + 3) % 24
+            text.append("    mov ebx, eax")
+            text.append("    shr ebx, %d" % bit)
+            text.append("    and ebx, 1")
+            text.append("    jnz %s_i%d_d%d_else" % (prefix, j, d))
+            text.extend(_body(prefix, arm_ops, rng))
+            text.append("    jmp %s_i%d_d%d_end" % (prefix, j, d))
+            text.append("%s_i%d_d%d_else:" % (prefix, j, d))
+            text.extend(_body(prefix, arm_ops, rng, start=11))
+            text.append("%s_i%d_d%d_end:" % (prefix, j, d))
+        text.append("    dec ecx")
+        text.append("    jnz %s_i%d" % (prefix, j))
+        text.extend(_body(prefix, 2, rng, start=j * 5))
+    text.append("    pop ecx")
+    text.append("    dec ecx")
+    text.append("    jnz %s_outer" % prefix)
+    text.append("    ret")
+    return KernelCode(prefix, text, data)
+
+
+def _pow2_mask(n):
+    """Smallest power-of-two mask covering 0..n-1 (at least 1)."""
+    mask = 1
+    while mask + 1 < n:
+        mask = (mask << 1) | 1
+    return mask
+
+
+def switch_loop(prefix, rng, iters=150, cases=8, case_ops=3,
+                case_diamonds=1, seed=None):
+    """Interpreter-style indirect dispatch over a jump table.
+
+    ``case_diamonds`` puts data-dependent splits inside every case body
+    (real interpreter opcodes branch internally), which is what lets the
+    tree strategies duplicate case paths well past MRET's footprint on
+    perlbmk/gap."""
+    if seed is None:
+        seed = rng.randrange(1, 2 ** 30)
+    cases = max(2, cases)
+    mask = _pow2_mask(cases)
+    n_cases = mask + 1
+    text = [
+        "%s_entry:" % prefix,
+        "    mov ecx, %d" % max(2, iters),
+        "    mov eax, %d" % seed,
+        "%s_loop:" % prefix,
+    ]
+    text.extend(_lcg(prefix))
+    text.append("    mov ebx, eax")
+    text.append("    shr ebx, 16")
+    text.append("    and ebx, %d" % mask)
+    text.append("    mov edx, [%s_table+ebx*4]" % prefix)
+    text.append("    jmp edx")
+    for c in range(n_cases):
+        text.append("%s_case%d:" % (prefix, c))
+        text.extend(_body(prefix, case_ops, rng, start=c))
+        for d in range(case_diamonds):
+            bit = (c * 3 + d * 7 + 2) % 24
+            text.append("    mov ebx, eax")
+            text.append("    shr ebx, %d" % bit)
+            text.append("    and ebx, 1")
+            text.append("    jnz %s_c%d_d%d_else" % (prefix, c, d))
+            text.extend(_body(prefix, 2, rng, start=c + d))
+            text.append("    jmp %s_c%d_d%d_end" % (prefix, c, d))
+            text.append("%s_c%d_d%d_else:" % (prefix, c, d))
+            text.extend(_body(prefix, 2, rng, start=c + d + 9))
+            text.append("%s_c%d_d%d_end:" % (prefix, c, d))
+        text.append("    jmp %s_join" % prefix)
+    text.append("%s_join:" % prefix)
+    text.append("    dec ecx")
+    text.append("    jnz %s_loop" % prefix)
+    text.append("    ret")
+    data = ["%s_buf: .zero 8" % prefix]
+    data.append(
+        "%s_table: .word %s"
+        % (prefix, ", ".join("%s_case%d" % (prefix, c) for c in range(n_cases)))
+    )
+    return KernelCode(prefix, text, data)
+
+
+def call_loop(prefix, rng, iters=150, n_funcs=3, func_ops=5, indirect=False,
+              func_diamonds=1, seed=None):
+    """Hot loop calling helper functions, directly or via a table.
+
+    ``func_diamonds`` adds data-dependent splits inside the callees
+    (virtual methods branch internally), feeding the tree strategies'
+    path duplication on eon-like codes."""
+    if seed is None:
+        seed = rng.randrange(1, 2 ** 30)
+    n_funcs = max(1, n_funcs)
+    text = [
+        "%s_entry:" % prefix,
+        "    mov ecx, %d" % max(2, iters),
+        "    mov eax, %d" % seed,
+        "%s_loop:" % prefix,
+        "    push ecx",
+    ]
+    data = ["%s_buf: .zero 8" % prefix]
+    if indirect:
+        mask = _pow2_mask(n_funcs)
+        n_funcs = mask + 1
+        text.extend(_lcg(prefix))
+        text.append("    mov ebx, eax")
+        text.append("    shr ebx, 8")
+        text.append("    and ebx, %d" % mask)
+        text.append("    mov edx, [%s_ftab+ebx*4]" % prefix)
+        text.append("    call edx")
+        data.append(
+            "%s_ftab: .word %s"
+            % (prefix, ", ".join("%s_f%d" % (prefix, f) for f in range(n_funcs)))
+        )
+    else:
+        for f in range(n_funcs):
+            text.append("    call %s_f%d" % (prefix, f))
+    text.append("    pop ecx")
+    text.append("    dec ecx")
+    text.append("    jnz %s_loop" % prefix)
+    text.append("    ret")
+    for f in range(n_funcs):
+        text.append("%s_f%d:" % (prefix, f))
+        text.extend(_body(prefix, func_ops, rng, start=f * 3))
+        for d in range(func_diamonds):
+            bit = (f * 5 + d * 7 + 1) % 24
+            text.append("    mov ebx, eax")
+            text.append("    shr ebx, %d" % bit)
+            text.append("    and ebx, 1")
+            text.append("    jnz %s_f%d_d%d_else" % (prefix, f, d))
+            text.extend(_body(prefix, 2, rng, start=f + d))
+            text.append("    jmp %s_f%d_d%d_end" % (prefix, f, d))
+            text.append("%s_f%d_d%d_else:" % (prefix, f, d))
+            text.extend(_body(prefix, 2, rng, start=f + d + 9))
+            text.append("%s_f%d_d%d_end:" % (prefix, f, d))
+        text.append("    ret")
+    return KernelCode(prefix, text, data)
+
+
+def rep_copy_loop(prefix, rng, iters=10, words=24):
+    """REP MOVSD copies in a loop (the Section 4.1 counting mismatch)."""
+    text = [
+        "%s_entry:" % prefix,
+        "    mov ecx, %d" % max(1, iters),
+        "%s_loop:" % prefix,
+        "    push ecx",
+        "    mov ecx, %d" % words,
+        "    mov esi, %s_src" % prefix,
+        "    mov edi, %s_dst" % prefix,
+        "    rep movsd",
+        "    pop ecx",
+        "    dec ecx",
+        "    jnz %s_loop" % prefix,
+        "    ret",
+    ]
+    data = [
+        "%s_src: .zero %d" % (prefix, words),
+        "%s_dst: .zero %d" % (prefix, words),
+    ]
+    return KernelCode(prefix, text, data)
+
+
+def straightline(prefix, rng, n_ops=40):
+    """Run-once straight-line code: cold footprint and cold coverage."""
+    text = ["%s_entry:" % prefix]
+    data = ["%s_buf: .zero 8" % prefix]
+    ops = 0
+    while ops < n_ops:
+        chunk = min(max(3, rng.randrange(4, 9)), n_ops - ops)
+        text.extend(_body(prefix, chunk, rng, start=ops))
+        ops += chunk
+        if ops < n_ops:
+            # A forward conditional to break blocks up like real code.
+            text.append("    test edx, %d" % (1 << (ops % 8)))
+            text.append("    jz %s_s%d" % (prefix, ops))
+            text.append("%s_s%d:" % (prefix, ops))
+    text.append("    ret")
+    return KernelCode(prefix, text, data)
+
+
+#: Kernel kind name -> builder, for the generator's spec tables.
+KERNEL_KINDS = {
+    "counted_nest": counted_nest,
+    "fp_nest": fp_nest,
+    "branchy_loop": branchy_loop,
+    "branchy_nest": branchy_nest,
+    "switch_loop": switch_loop,
+    "call_loop": call_loop,
+    "rep_copy_loop": rep_copy_loop,
+    "straightline": straightline,
+}
+
+
+# ----------------------------------------------------------------------
+# The paper's figure programs
+# ----------------------------------------------------------------------
+
+FIGURE1_SOURCE = """
+; Figure 1(a): copy one hundred words from [esi] to [edi].
+main:
+    mov esi, fig1_src
+    mov edi, fig1_dst
+    mov ecx, 100
+fig1_loop:
+    mov eax, [esi]          ; (1)
+    mov [edi], eax          ; (2)
+    add esi, 4              ; (3)
+    add edi, 4              ; (4)
+    dec ecx                 ; (5)
+    jnz fig1_loop           ; (6)
+    hlt
+.data
+fig1_src: .zero 100
+fig1_dst: .zero 100
+"""
+
+
+FIGURE2_SOURCE = """
+; Figure 2(a): scan the linked list pointed to by edx, count in eax the
+; nodes whose value equals ecx.
+main:
+    mov eax, 0
+    mov edx, [fig2_head]
+    mov ecx, [fig2_needle]
+begin:
+    cmp edx, 0
+    jz end
+header:
+    mov ebx, [edx]          ; node value
+    cmp ebx, ecx
+    jnz next
+inc_:
+    inc eax
+next:
+    mov edx, [edx+4]        ; node->next
+    cmp edx, 0
+    jnz header
+end:
+    hlt
+.data
+fig2_head: .word 0
+fig2_needle: .word 7
+"""
+
+
+def figure1_program():
+    """The Figure 1(a) memcpy loop, assembled and ready to run."""
+    return assemble(FIGURE1_SOURCE)
+
+
+def figure2_program(list_length=400, needle=7, match_every=5):
+    """The Figure 2(a) linked-list scan with a generated list.
+
+    Every ``match_every``-th node holds ``needle`` so both the taken and
+    fall-through sides of the ``$$header`` comparison are hot, producing
+    the paper's T1/T2 trace pair under MRET.
+    """
+    program = assemble(FIGURE2_SOURCE)
+    head = program.label_addr("fig2_head")
+    needle_addr = program.label_addr("fig2_needle")
+    base = 0x0A000000
+    data = dict(program.data)
+    data[needle_addr] = needle
+    for i in range(list_length):
+        node = base + 8 * i
+        value = needle if (i % match_every) == 0 else (i * 3 + 1) & 0xFFFF
+        if value == needle and (i % match_every) != 0:
+            value += 1
+        data[node] = value
+        data[node + 4] = node + 8 if i + 1 < list_length else 0
+    data[head] = base
+    program.data = data
+    return program

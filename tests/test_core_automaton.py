@@ -1,0 +1,195 @@
+"""TEA automaton and Algorithm 1 builder tests."""
+
+import pytest
+
+from repro.core import NTE_SID, TEA, build_tea, sync_trace
+from repro.errors import TeaError
+from repro.harness.figures import figure2_traces, figure3_tea
+
+
+def test_fresh_tea_is_nte_only():
+    tea = TEA()
+    assert tea.n_states == 1
+    assert tea.n_transitions == 0
+    assert tea.nte.sid == NTE_SID
+    assert tea.nte.is_nte
+    assert tea.nte.name == "NTE"
+
+
+def test_build_tea_property1_every_tbb_has_a_state(nested_traces):
+    tea = build_tea(nested_traces)
+    # Property 1: the TEA can represent the execution of every TBB.
+    assert tea.n_states == 1 + nested_traces.n_tbbs
+    for trace in nested_traces:
+        for tbb in trace:
+            state = tea.state_for(tbb)
+            assert state.tbb is tbb
+
+
+def test_build_tea_property2_every_in_trace_edge_lifted(nested_traces):
+    tea = build_tea(nested_traces)
+    # Property 2: all transitions for every represented TBB exist.
+    for trace in nested_traces:
+        for tbb in trace:
+            state = tea.state_for(tbb)
+            for label, successor in tbb.successors.items():
+                assert state.transitions[label] is tea.state_for(
+                    trace.tbbs[successor]
+                )
+
+
+def test_build_tea_registers_all_heads(nested_traces):
+    tea = build_tea(nested_traces)
+    assert set(tea.heads) == set(nested_traces.by_entry)
+    for entry, head in tea.heads.items():
+        assert head.tbb.index == 0
+        assert head.tbb.block.start == entry
+
+
+def test_next_state_semantics(nested_traces):
+    tea = build_tea(nested_traces)
+    trace = nested_traces.traces[0]
+    head = tea.heads[trace.entry]
+    # From NTE, the trace entry label enters the trace.
+    assert tea.next_state(tea.nte, trace.entry) is head
+    # An unknown label falls to NTE.
+    assert tea.next_state(head, 0xDEADBEEF) is tea.nte
+    assert tea.next_state(tea.nte, 0xDEADBEEF) is tea.nte
+
+
+def test_simulate_walks_states(nested_traces):
+    tea = build_tea(nested_traces)
+    trace = nested_traces.traces[0]
+    labels = [trace.entry, 0xDEAD, trace.entry]
+    states = list(tea.simulate(labels))
+    assert states[0] is tea.heads[trace.entry]
+    assert states[1] is tea.nte
+    assert states[2] is tea.heads[trace.entry]
+
+
+def test_add_transition_determinism(nested_traces):
+    tea = build_tea(nested_traces)
+    state = next(iter(tea.heads.values()))
+    other = tea.nte
+    label = 0x1234
+    tea.add_transition(state, label, other)
+    tea.add_transition(state, label, other)  # idempotent
+    with pytest.raises(TeaError):
+        tea.add_transition(state, label, next(iter(tea.heads.values())))
+
+
+def test_state_for_missing_tbb():
+    from repro.traces.model import Trace
+    from repro.cfg.basic_block import BasicBlock
+    tea = TEA()
+    trace = Trace(9, "mret")
+    block = BasicBlock(0x100, 0x104, 2, 6, None)
+    tbb = trace.add_block(block)
+    with pytest.raises(TeaError):
+        tea.state_for(tbb)
+    assert not tea.has_state_for(tbb)
+
+
+def test_sync_trace_is_idempotent(nested_traces):
+    tea = TEA()
+    trace = nested_traces.traces[0]
+    sync_trace(tea, trace)
+    states = tea.n_states
+    transitions = tea.n_transitions
+    sync_trace(tea, trace)
+    assert tea.n_states == states
+    assert tea.n_transitions == transitions
+
+
+def test_sync_trace_picks_up_new_edges(nested_traces):
+    # Simulates the tree-extension flow: sync, mutate, re-sync.
+    tea = TEA()
+    trace = nested_traces.traces[0]
+    sync_trace(tea, trace)
+    before = tea.n_states
+    trace.add_block(trace.tbbs[0].block)  # a tree extension's new TBB
+    sync_trace(tea, trace)
+    assert tea.n_states == before + 1
+
+
+def test_link_traces_adds_cross_trace_transitions(nested_traces):
+    plain = build_tea(nested_traces, link_traces=False)
+    linked = build_tea(nested_traces, link_traces=True)
+    assert linked.n_transitions >= plain.n_transitions
+    # Any added transition targets another trace's head.
+    if linked.n_transitions > plain.n_transitions:
+        heads = set(linked.heads.values())
+        extra_found = False
+        for state in linked.states[1:]:
+            for label, destination in state.transitions.items():
+                if destination in heads and destination.tbb.trace_id != \
+                        state.tbb.trace_id:
+                    extra_found = True
+        assert extra_found
+
+
+def test_to_dot_contains_all_states(nested_traces):
+    tea = build_tea(nested_traces)
+    dot = tea.to_dot()
+    assert dot.startswith("digraph")
+    assert 'label="NTE"' in dot
+    for state in tea.states[1:]:
+        assert state.name in dot
+
+
+# ---------------------------------------------------------------------
+# the paper's Figure 2/3 example, exactly
+# ---------------------------------------------------------------------
+
+def test_figure2_trace_structure():
+    program, trace_set = figure2_traces()
+    t1, t2 = trace_set.traces
+    assert [tbb.block.start for tbb in t1] == [
+        program.label_addr("begin"),
+        program.label_addr("header"),
+        program.label_addr("next"),
+    ]
+    assert [tbb.block.start for tbb in t2] == [
+        program.label_addr("inc_"),
+        program.label_addr("next"),
+    ]
+    # $$T1.next -> $$T1.header cycle
+    header = program.label_addr("header")
+    assert t1.tbbs[2].successors[header] == 1
+
+
+def test_figure3_tea_structure():
+    program, trace_set, tea = figure3_tea()
+    # NTE + 5 TBB states ($$T1.begin/header/next, $$T2.inc/next)
+    assert tea.n_states == 6
+    begin = program.label_addr("begin")
+    inc = program.label_addr("inc_")
+    assert set(tea.heads) == {begin, inc}
+    # The DFA does NOT contain $$T1.begin -> $$end (end is no trace block).
+    end = program.label_addr("end")
+    t1_begin = tea.heads[begin]
+    assert end not in t1_begin.transitions
+    # $$T2.next has no explicit successors (exits to NTE).
+    t2 = trace_set.traces[1]
+    t2_next = tea.state_for(t2.tbbs[1])
+    assert not t2_next.transitions
+
+
+def test_figure3_disambiguates_next_instances():
+    """The paper's key claim: with the current PC at $$next, the TEA
+    state says whether it is $$T1.next or $$T2.next."""
+    program, trace_set, tea = figure3_tea()
+    begin = program.label_addr("begin")
+    header = program.label_addr("header")
+    nxt = program.label_addr("next")
+    inc = program.label_addr("inc_")
+    # Path A: begin -> header -> next  (no match): T1's instance.
+    state = tea.nte
+    for label in (begin, header, nxt):
+        state = tea.next_state(state, label)
+    assert state.name.startswith("$$T1.")
+    # Path B: ... header -> inc -> next (match): T2's instance.
+    state = tea.nte
+    for label in (begin, header, inc, nxt):
+        state = tea.next_state(state, label)
+    assert state.name.startswith("$$T2.")

@@ -1,0 +1,134 @@
+"""Unit tests for the trace lookup directories (incl. future-work ones)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.directory import (
+    DIRECTORY_COST_PARAM,
+    BPlusTreeDirectory,
+    HashDirectory,
+    LinkedListDirectory,
+    SortedArrayDirectory,
+    make_directory,
+)
+
+ALL_KINDS = ("list", "bptree", "hash", "sorted")
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_insert_then_lookup(kind):
+    directory = make_directory(kind)
+    directory.insert(0x1000, "a")
+    directory.insert(0x2000, "b")
+    assert directory.lookup(0x1000)[0] == "a"
+    assert directory.lookup(0x2000)[0] == "b"
+    assert directory.lookup(0x3000)[0] is None
+    assert len(directory) == 2
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_lookup_reports_positive_work(kind):
+    directory = make_directory(kind)
+    directory.insert(0x1000, "a")
+    _, units = directory.lookup(0x1000)
+    assert units >= 1
+    _, units = directory.lookup(0x9999)
+    assert units >= 1
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_cost_param_mapping_exists(kind):
+    from repro.dbt.cost import CostParameters
+    params = CostParameters()
+    assert hasattr(params, DIRECTORY_COST_PARAM[kind])
+
+
+def test_make_directory_unknown():
+    with pytest.raises(ValueError):
+        make_directory("cuckoo")
+
+
+def test_linked_list_scan_cost_is_linear():
+    directory = LinkedListDirectory()
+    for index in range(100):
+        directory.insert(0x1000 + index, index)
+    _, first = directory.lookup(0x1000)
+    _, last = directory.lookup(0x1000 + 99)
+    assert first == 1
+    assert last == 100
+    _, miss = directory.lookup(0xFFFF)
+    assert miss == 100
+    assert directory.probes == 3
+
+
+def test_bptree_directory_cost_is_logarithmic():
+    directory = BPlusTreeDirectory(order=8)
+    for index in range(4096):
+        directory.insert(index, index)
+    _, units = directory.lookup(4000)
+    assert units <= 6
+    assert directory.height == units
+
+
+def test_hash_directory_grows():
+    directory = HashDirectory(initial_capacity=8)
+    for index in range(100):
+        directory.insert(0x10 * index, index)
+    assert len(directory) == 100
+    assert directory.capacity >= 128
+    for index in range(100):
+        assert directory.lookup(0x10 * index)[0] == index
+
+
+def test_hash_directory_update_in_place():
+    directory = HashDirectory()
+    directory.insert(5, "old")
+    directory.insert(5, "new")
+    assert len(directory) == 1
+    assert directory.lookup(5)[0] == "new"
+
+
+def test_hash_probe_cost_near_constant():
+    directory = HashDirectory()
+    for index in range(1000):
+        directory.insert(index * 0x40 + 0x8048000, index)
+    total = 0
+    for index in range(1000):
+        _, units = directory.lookup(index * 0x40 + 0x8048000)
+        total += units
+    assert total / 1000 < 3.0  # expected ~1.x at 70% load
+
+
+def test_sorted_directory_keeps_order():
+    directory = SortedArrayDirectory()
+    for key in (30, 10, 20):
+        directory.insert(key, key)
+    assert directory._addrs == [10, 20, 30]
+    assert directory.lookup(20)[0] == 20
+
+
+def test_sorted_directory_update_in_place():
+    directory = SortedArrayDirectory()
+    directory.insert(7, "a")
+    directory.insert(7, "b")
+    assert len(directory) == 1
+    assert directory.lookup(7)[0] == "b"
+
+
+@given(st.lists(st.tuples(st.integers(0, 5000), st.integers()), max_size=150))
+@settings(max_examples=40, deadline=None)
+def test_all_directories_agree_with_dict(operations):
+    directories = {kind: make_directory(kind) for kind in ALL_KINDS}
+    model = {}
+    for key, value in operations:
+        model[key] = value
+        for directory in directories.values():
+            directory.insert(key, value)
+    probes = list(model) + [99999, -1 & 0xFFFF]
+    for key in probes:
+        expected = model.get(key)
+        for kind, directory in directories.items():
+            found, _ = directory.lookup(key)
+            assert found == expected, kind
+    for kind, directory in directories.items():
+        assert len(directory) == len(model), kind

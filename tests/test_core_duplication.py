@@ -1,0 +1,110 @@
+"""Trace duplication tests (Section 2: profiling unrolled traces)."""
+
+import pytest
+
+from repro.core import TeaProfile, duplicate_trace
+from repro.core.duplication import duplicate_in_set
+from repro.errors import TraceError
+from repro.harness.figures import figure1_traces
+from repro.pin import Pin, TeaReplayTool
+from repro.workloads import figure1_program
+from tests.conftest import record_traces
+
+
+def test_duplicate_structure_figure1():
+    _, trace_set, duplicated_set = figure1_traces()
+    original = trace_set.traces[0]
+    duplicated = duplicated_set.traces[0]
+    assert len(duplicated) == 2 * len(original)
+    # Copy 0's cycle edge targets copy 1; copy 1 cycles back to copy 0.
+    assert duplicated.tbbs[0].successors[original.entry] == 1
+    assert duplicated.tbbs[1].successors[original.entry] == 0
+
+
+def test_duplicate_factor_three(simple_loop_program):
+    trace_set = record_traces(simple_loop_program).trace_set
+    trace = trace_set.trace_at(simple_loop_program.label_addr("loop"))
+    tripled = duplicate_trace(trace, factor=3)
+    assert len(tripled) == 3 * len(trace)
+    tripled.validate()
+    # The copies chain 0 -> 1 -> 2 -> 0 through the cycle edges.
+    size = len(trace)
+    last_of = lambda copy: (copy + 1) * size - 1
+    for copy in range(3):
+        cycle_target = tripled.tbbs[last_of(copy)].successors[trace.entry]
+        assert cycle_target == ((copy + 1) % 3) * size
+
+
+def test_duplicate_preserves_entry_and_labels(nested_program):
+    trace_set = record_traces(nested_program).trace_set
+    trace = trace_set.traces[0]
+    doubled = duplicate_trace(trace, factor=2)
+    assert doubled.entry == trace.entry
+    for tbb in doubled:
+        for label, successor in tbb.successors.items():
+            assert doubled.tbbs[successor].block.start == label
+
+
+def test_duplicate_forward_edges_stay_in_copy(nested_program):
+    trace_set = record_traces(nested_program).trace_set
+    trace = max(trace_set, key=len)
+    if len(trace) < 2:
+        pytest.skip("need a multi-block trace")
+    doubled = duplicate_trace(trace, factor=2)
+    size = len(trace)
+    for tbb in doubled:
+        copy = tbb.index // size
+        for label, successor in tbb.successors.items():
+            original_successor = successor % size
+            original_index = tbb.index % size
+            if original_successor > original_index:
+                assert successor // size == copy  # forward: same copy
+
+
+def test_duplicate_rejects_bad_factor(simple_loop_program):
+    trace_set = record_traces(simple_loop_program).trace_set
+    trace = trace_set.traces[0]
+    with pytest.raises(TraceError):
+        duplicate_trace(trace, factor=1)
+
+
+def test_duplicate_in_set(simple_loop_program):
+    trace_set = record_traces(simple_loop_program).trace_set
+    loop = simple_loop_program.label_addr("loop")
+    new_set = duplicate_in_set(trace_set, loop, factor=2)
+    assert len(new_set) == len(trace_set)
+    assert len(new_set.trace_at(loop)) == 2 * len(trace_set.trace_at(loop))
+    with pytest.raises(TraceError):
+        duplicate_in_set(trace_set, 0xDEAD)
+
+
+def test_duplicated_trace_replays_with_same_coverage():
+    """Figure 1(d)'s point: the duplicated trace loads alongside the
+    unmodified program and replays identically (coverage-wise)."""
+    program = figure1_program()
+    _, trace_set, duplicated_set = figure1_traces()
+    tool_original = TeaReplayTool(trace_set=trace_set)
+    Pin(program, tool=tool_original).run()
+    tool_duplicated = TeaReplayTool(trace_set=duplicated_set)
+    Pin(program, tool=tool_duplicated).run()
+    assert tool_duplicated.coverage == pytest.approx(tool_original.coverage)
+
+
+def test_duplicated_profile_labels_iterations_separately():
+    """Odd/even iterations land on different states -> per-copy counters,
+    which is exactly the unroll-profiling use of Section 2."""
+    program = figure1_program()
+    _, _, duplicated_set = figure1_traces()
+    profile = TeaProfile()
+    tool = TeaReplayTool(trace_set=duplicated_set, profile=profile)
+    Pin(program, tool=tool).run()
+    tea = tool.tea
+    trace = duplicated_set.traces[0]
+    copy0 = tea.state_for(trace.tbbs[0])
+    copy1 = tea.state_for(trace.tbbs[1])
+    count0 = profile.state_counts.get(copy0.sid, 0)
+    count1 = profile.state_counts.get(copy1.sid, 0)
+    # Iteration 1 runs inside the program-entry block (cold); the other
+    # 99 iterations alternate between the two copies.
+    assert count0 + count1 == 99
+    assert abs(count0 - count1) <= 1

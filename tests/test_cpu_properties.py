@@ -1,0 +1,127 @@
+"""Property-based tests: the interpreter against a Python reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Machine, run_program
+from repro.isa import assemble
+
+_MASK = 0xFFFFFFFF
+
+small_ints = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+uints = st.integers(min_value=0, max_value=_MASK)
+
+
+def run_snippet(body):
+    machine = Machine()
+    run_program(assemble("main:\n%s\n    hlt" % body), machine=machine)
+    return machine
+
+
+@given(a=small_ints, b=small_ints)
+@settings(max_examples=60, deadline=None)
+def test_add_matches_python(a, b):
+    machine = run_snippet("    mov eax, %d\n    add eax, %d" % (a, b))
+    assert machine.regs[0] == (a + b) & _MASK
+
+
+@given(a=small_ints, b=small_ints)
+@settings(max_examples=60, deadline=None)
+def test_sub_matches_python(a, b):
+    machine = run_snippet("    mov eax, %d\n    sub eax, %d" % (a, b))
+    assert machine.regs[0] == (a - b) & _MASK
+    assert machine.cf == (1 if (a & _MASK) < (b & _MASK) else 0)
+    assert machine.zf == (1 if (a - b) & _MASK == 0 else 0)
+
+
+@given(a=small_ints, b=small_ints)
+@settings(max_examples=60, deadline=None)
+def test_imul_matches_python(a, b):
+    machine = run_snippet("    mov eax, %d\n    imul eax, %d" % (a, b))
+    assert machine.regs[0] == (a * b) & _MASK
+
+
+@given(a=small_ints, b=small_ints)
+@settings(max_examples=60, deadline=None)
+def test_logic_matches_python(a, b):
+    machine = run_snippet(
+        "    mov eax, %d\n    mov ebx, %d\n"
+        "    mov ecx, eax\n    and ecx, ebx\n"
+        "    mov edx, eax\n    or edx, ebx\n"
+        "    xor eax, ebx" % (a, b)
+    )
+    assert machine.regs[2] == (a & b) & _MASK
+    assert machine.regs[3] == (a | b) & _MASK
+    assert machine.regs[0] == (a ^ b) & _MASK
+
+
+@given(a=small_ints, count=st.integers(min_value=0, max_value=31))
+@settings(max_examples=60, deadline=None)
+def test_shifts_match_python(a, count):
+    machine = run_snippet(
+        "    mov eax, %d\n    mov ebx, eax\n    mov ecx, eax\n"
+        "    shl eax, %d\n    shr ebx, %d\n    sar ecx, %d"
+        % (a, count, count, count)
+    )
+    unsigned = a & _MASK
+    signed = unsigned - 0x100000000 if unsigned & 0x80000000 else unsigned
+    assert machine.regs[0] == (unsigned << count) & _MASK
+    assert machine.regs[1] == unsigned >> count
+    assert machine.regs[2] == (signed >> count) & _MASK
+
+
+@given(a=small_ints, b=small_ints)
+@settings(max_examples=60, deadline=None)
+def test_signed_comparison_chain(a, b):
+    machine = run_snippet(
+        "    mov eax, %d\n    cmp eax, %d\n"
+        "    jl less\n    mov ebx, 1\n    jmp done\n"
+        "less:\n    mov ebx, 2\ndone:" % (a, b)
+    )
+    assert machine.regs[1] == (2 if a < b else 1)
+
+
+@given(a=uints, b=uints)
+@settings(max_examples=60, deadline=None)
+def test_unsigned_comparison_chain(a, b):
+    machine = run_snippet(
+        "    mov eax, %d\n    cmp eax, %d\n"
+        "    jb below\n    mov ebx, 1\n    jmp done\n"
+        "below:\n    mov ebx, 2\ndone:" % (a, b)
+    )
+    assert machine.regs[1] == (2 if a < b else 1)
+
+
+@given(count=st.integers(min_value=1, max_value=40))
+@settings(max_examples=30, deadline=None)
+def test_loop_trip_count(count):
+    machine = run_snippet(
+        "    mov ecx, %d\nloop:\n    add eax, 1\n    dec ecx\n    jnz loop"
+        % count
+    )
+    assert machine.regs[0] == count
+
+
+@given(values=st.lists(uints, min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_rep_movsd_copies_arbitrary_data(values):
+    source = (
+        "main:\n    mov ecx, %d\n    mov esi, src\n    mov edi, dst\n"
+        "    rep movsd\n    hlt\n.data\nsrc: .word %s\ndst: .zero %d"
+        % (len(values), ", ".join(str(v) for v in values), len(values))
+    )
+    program = assemble(source)
+    machine = Machine()
+    run_program(program, machine=machine)
+    dst = program.label_addr("dst")
+    assert [machine.load(dst + 4 * i) for i in range(len(values))] == list(values)
+
+
+@given(
+    pushes=st.lists(uints, min_size=1, max_size=10),
+)
+@settings(max_examples=30, deadline=None)
+def test_stack_lifo_order(pushes):
+    body = "\n".join("    mov eax, %d\n    push eax" % v for v in pushes)
+    body += "\n" + "\n".join("    pop ebx" for _ in pushes)
+    machine = run_snippet(body)
+    assert machine.regs[1] == pushes[0]

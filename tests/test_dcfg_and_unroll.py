@@ -1,0 +1,148 @@
+"""DCFG collection and unroll-annotation tests."""
+
+import pytest
+
+from repro.analysis.dcfg import DcfgTool, compare_with_tea
+from repro.core import MemoryModel, TeaProfile
+from repro.core.duplication import duplicate_in_set
+from repro.errors import TraceError
+from repro.harness.figures import figure1_traces
+from repro.optimize import annotate_unrolled
+from repro.pin import Pin, TeaReplayTool
+from repro.workloads import figure1_program
+from tests.conftest import record_traces
+
+
+# ---------------------------------------------------------------------
+# DCFG
+# ---------------------------------------------------------------------
+
+def collect_dcfg(program):
+    tool = DcfgTool()
+    result = Pin(program, tool=tool).run()
+    return tool.dcfg, result
+
+
+def test_dcfg_counts_match_execution(simple_loop_program):
+    dcfg, result = collect_dcfg(simple_loop_program)
+    assert sum(n.instrs_dbt for n in dcfg.nodes.values()) == result.instrs_dbt
+    loop = simple_loop_program.label_addr("loop")
+    # Iteration 1 runs inside the program-entry dynamic block, so the
+    # loop-start block appears from iteration 2 on.
+    assert dcfg.nodes[loop].executions == 399
+
+
+def test_dcfg_edges_counted(simple_loop_program):
+    dcfg, _ = collect_dcfg(simple_loop_program)
+    loop = simple_loop_program.label_addr("loop")
+    assert dcfg.edges[(loop, loop)] == 398  # 399 block visits, 398 cycles
+
+
+def test_dcfg_hot_subgraph(nested_program):
+    dcfg, _ = collect_dcfg(nested_program)
+    hot = dcfg.hot_subgraph(100)
+    cold = dcfg.hot_subgraph(1)
+    assert hot <= cold
+    assert nested_program.label_addr("inner") in hot
+    assert nested_program.entry not in hot  # main prologue runs once
+
+
+def test_dcfg_dot_render(nested_program):
+    dcfg, _ = collect_dcfg(nested_program)
+    dot = dcfg.to_dot()
+    assert dot.startswith("digraph dcfg")
+    pruned = dcfg.to_dot(min_executions=100)
+    assert len(pruned) < len(dot)
+
+
+def test_dcfg_representation_includes_code(nested_program):
+    dcfg, _ = collect_dcfg(nested_program)
+    model = MemoryModel()
+    assert dcfg.representation_bytes(model) > dcfg.code_bytes
+
+
+def test_compare_with_tea_state_vs_code(nested_program):
+    """Section 3's contrast: 'TEA contains just the state information,
+    whereas the DCFG contains code replication'."""
+    dcfg, _ = collect_dcfg(nested_program)
+    trace_set = record_traces(nested_program).trace_set
+    comparison = compare_with_tea(dcfg, trace_set)
+    assert comparison["tea_bytes"] > 0
+    assert comparison["dcfg_bytes"] > comparison["tea_bytes"]
+    assert comparison["tea_over_dcfg"] < 1.0
+    assert comparison["tea_states"] == 1 + trace_set.n_tbbs
+
+
+def test_dcfg_hottest_nodes(nested_program):
+    dcfg, _ = collect_dcfg(nested_program)
+    ranked = dcfg.hottest_nodes(3)
+    assert len(ranked) == 3
+    assert ranked[0].executions >= ranked[1].executions >= ranked[2].executions
+
+
+# ---------------------------------------------------------------------
+# unroll annotation
+# ---------------------------------------------------------------------
+
+def replay_duplicated(factor):
+    program = figure1_program()
+    _, trace_set, _ = figure1_traces()
+    duplicated_set = duplicate_in_set(
+        trace_set, trace_set.traces[0].entry, factor=factor
+    )
+    profile = TeaProfile()
+    tool = TeaReplayTool(trace_set=duplicated_set, profile=profile)
+    Pin(program, tool=tool).run()
+    return program, duplicated_set.traces[0], tool.tea, profile
+
+
+def test_annotate_unrolled_basic():
+    program, duplicated, tea, profile = replay_duplicated(2)
+    report = annotate_unrolled(program, duplicated, tea, profile)
+    assert report.factor == 2
+    assert report.original_length == 1
+    # 6-instruction loop body per copy.
+    assert len(report.instructions) == 12
+    # The 99 in-trace iterations split across the copies.
+    assert report.total_iterations == 99
+    assert report.imbalance() < 1.1
+
+
+def test_annotate_unrolled_factor_three():
+    program, duplicated, tea, profile = replay_duplicated(3)
+    report = annotate_unrolled(program, duplicated, tea, profile)
+    assert report.factor == 3
+    counts = [report.copy_executions(c) for c in range(3)]
+    assert sum(counts) == 99
+    assert max(counts) - min(counts) <= 1
+
+
+def test_annotation_counts_uniform_within_copy():
+    program, duplicated, tea, profile = replay_duplicated(2)
+    report = annotate_unrolled(program, duplicated, tea, profile)
+    for copy in (0, 1):
+        counts = {
+            entry.executions for entry in report.instructions
+            if entry.copy == copy
+        }
+        assert len(counts) == 1  # straight-line body: one count per copy
+
+
+def test_annotation_text_rendering():
+    program, duplicated, tea, profile = replay_duplicated(2)
+    report = annotate_unrolled(program, duplicated, tea, profile)
+    text = report.to_text(program)
+    assert "copy 0" in text and "copy 1" in text
+    assert text.count("x4") >= 0  # addresses + counts rendered
+    assert "factor 2" in text
+
+
+def test_annotate_rejects_non_duplicated(nested_program):
+    trace_set = record_traces(nested_program).trace_set
+    trace = max(trace_set, key=len)
+    if len(trace) < 2:
+        pytest.skip("need a multi-block trace")
+    from repro.core import build_tea
+    tea = build_tea(trace_set)
+    with pytest.raises(TraceError):
+        annotate_unrolled(nested_program, trace, tea, TeaProfile())

@@ -1,0 +1,198 @@
+"""Harness tests: runner caching, table builders, figures, CLI."""
+
+import pytest
+
+from repro.harness import HarnessConfig, Runner, table1, table2, table3, table4
+from repro.harness.__main__ import main as harness_main
+from repro.harness.figures import (
+    render_all,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+)
+from repro.harness.reporting import Column, Table, geomean
+
+SMALL = dict(scale=0.5, hot_threshold=10,
+             benchmarks=["171.swim", "164.gzip"])
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(HarnessConfig(**SMALL))
+
+
+# ---------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------
+
+def test_geomean():
+    assert geomean([1, 100]) == pytest.approx(10.0)
+    assert geomean([]) == 0.0
+    assert geomean([0, 0]) == 0.0
+
+
+def test_column_kinds():
+    assert Column("x", "percent").render(0.5) == "50.0%"
+    assert Column("x", "percent").render(0.9999) == "100%"
+    assert Column("x", "ratio").render(1.5) == "1.50"
+    assert Column("x", "int").render(3.4) == "3"
+    assert Column("x", "kb").render(12.34) == "12.3"
+    assert Column("x", "kb").render(1234.5) == "1234"
+    assert Column("x").render(None) == ""
+    with pytest.raises(ValueError):
+        Column("x", "hexfloat")
+
+
+def test_table_rendering_alignment():
+    table = Table("T", [Column("name"), Column("v", "ratio", in_geomean=True)])
+    table.add_row(["a", 2.0])
+    table.add_row(["b", 8.0])
+    text = table.render()
+    assert "GeoMean" in text
+    assert "4.00" in text  # geomean of 2 and 8
+    markdown = table.render_markdown()
+    assert markdown.count("|") > 6
+
+
+def test_table_row_length_checked():
+    table = Table("T", [Column("a"), Column("b")])
+    with pytest.raises(ValueError):
+        table.add_row(["only-one"])
+
+
+# ---------------------------------------------------------------------
+# runner caching
+# ---------------------------------------------------------------------
+
+def test_runner_caches_dbt_runs(runner):
+    first = runner.dbt("171.swim", "mret")
+    second = runner.dbt("171.swim", "mret")
+    assert first is second
+
+
+def test_runner_caches_replays(runner):
+    first = runner.replay("171.swim", "global_local")
+    second = runner.replay("171.swim", "global_local")
+    assert first is second
+    other = runner.replay("171.swim", "global_no_local")
+    assert other is not first
+
+
+def test_runner_slowdown_normalisation(runner):
+    native = runner.native("171.swim")
+    assert runner.slowdown("171.swim", native) == pytest.approx(1.0)
+
+
+def test_runner_progress_callback():
+    messages = []
+    config = HarnessConfig(scale=0.3, hot_threshold=10,
+                           benchmarks=["181.mcf"])
+    runner = Runner(config, progress=messages.append)
+    runner.native("181.mcf")
+    assert any("native" in m for m in messages)
+
+
+# ---------------------------------------------------------------------
+# tables
+# ---------------------------------------------------------------------
+
+def test_table1_structure(runner):
+    table = table1(runner)
+    assert len(table.rows) == 2
+    assert len(table.columns) == 10
+    for row in table.rows:
+        for savings_index in (3, 6, 9):
+            assert 0.3 < row[savings_index] < 0.95
+    assert "Table 1" in table.render()
+
+
+def test_table2_structure(runner):
+    table = table2(runner)
+    for row in table.rows:
+        name, tea_cov, tea_time, dbt_cov, dbt_time = row
+        assert 0.0 < tea_cov <= 1.0
+        assert 0.0 < dbt_cov <= 1.0
+        assert tea_time > dbt_time  # replay overhead dominates
+
+
+def test_table3_structure(runner):
+    table = table3(runner)
+    for row in table.rows:
+        _, tea_cov, tea_time, dbt_cov, dbt_time = row
+        assert tea_time > dbt_time
+        assert tea_cov > 0.5
+
+
+def test_table4_ordering(runner):
+    table = table4(runner)
+    for row in table.rows:
+        name, native, bare, empty, ngl, gnl, gl = row
+        assert native == 1.0
+        assert 1.0 < bare < empty
+        assert gl < empty            # the paper's headline ordering
+        assert gl <= gnl * 1.05      # local cache never hurts materially
+
+
+# ---------------------------------------------------------------------
+# figures
+# ---------------------------------------------------------------------
+
+def test_figure1_render_mentions_duplication():
+    text = render_figure1()
+    assert "Figure 1(b)" in text
+    assert "duplicated" in text
+
+
+def test_figure2_render_has_cfg_and_traces():
+    text = render_figure2()
+    assert "digraph cfg" in text
+    assert "$$T1." in text and "$$T2." in text
+
+
+def test_figure3_render_walks_tea():
+    text = render_figure3()
+    assert "digraph tea" in text
+    assert "NTE" in text
+    assert "-> state" in text
+
+
+def test_render_all_concatenates():
+    text = render_all()
+    assert text.count("=" * 70) == 3
+
+
+# ---------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------
+
+def test_cli_table1(capsys):
+    code = harness_main([
+        "table1", "--benchmarks", "181.mcf", "--scale", "0.3",
+        "--threshold", "10", "--quiet",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "181.mcf" in out
+
+
+def test_cli_markdown_and_out(tmp_path, capsys):
+    target = tmp_path / "out.md"
+    code = harness_main([
+        "table1", "--benchmarks", "181.mcf", "--scale", "0.3",
+        "--threshold", "10", "--quiet", "--markdown", "--out", str(target),
+    ])
+    assert code == 0
+    assert target.read_text().startswith("###")
+
+
+def test_cli_rejects_unknown_benchmark(capsys):
+    code = harness_main([
+        "table1", "--benchmarks", "999.nope", "--quiet",
+    ])
+    assert code == 2
+
+
+def test_cli_figures(capsys):
+    assert harness_main(["figures", "--quiet"]) == 0
+    assert "digraph tea" in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""End-to-end invariants across real benchmark workloads.
+
+These are the claims the paper's tables rest on, checked at small scale
+on a representative benchmark subset (one FP, one branchy INT, one
+interpreter-ish INT).
+"""
+
+import pytest
+
+from repro.core import MemoryModel, ReplayConfig
+from repro.dbt import StarDBT
+from repro.pin import Pin, TeaRecordTool, TeaReplayTool, run_native
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import load_benchmark
+
+SUBSET = ["171.swim", "164.gzip", "254.gap"]
+SCALE = 0.6
+THRESHOLD = 10
+
+
+@pytest.fixture(scope="module", params=SUBSET)
+def bench(request):
+    """(name, program, dbt_result, native) for one benchmark."""
+    name = request.param
+    workload = load_benchmark(name, scale=SCALE)
+    dbt = StarDBT(
+        workload.program, strategy="mret",
+        limits=RecorderLimits(hot_threshold=THRESHOLD),
+    ).run()
+    native = run_native(workload.program)
+    return name, workload.program, dbt, native
+
+
+def replay(program, trace_set, config):
+    tool = TeaReplayTool(trace_set=trace_set, config=config)
+    result = Pin(program, tool=tool).run()
+    return result, tool
+
+
+def test_tea_saves_memory(bench):
+    name, _, dbt, _ = bench
+    model = MemoryModel()
+    _, _, savings = model.table1_row(dbt.trace_set)
+    assert 0.6 < savings < 0.9, name
+
+
+def test_replay_coverage_at_least_dbt(bench):
+    """Table 2: 'it is expected that the coverage for TEA is slightly
+    higher than DBT's coverage since our tool will execute less cold
+    code' (replay has the traces from step one)."""
+    name, program, dbt, _ = bench
+    _, tool = replay(program, dbt.trace_set, ReplayConfig.global_local())
+    assert tool.coverage >= dbt.coverage - 0.01, name
+
+
+def test_replay_costlier_than_dbt_recording(bench):
+    name, program, dbt, _ = bench
+    result, _ = replay(program, dbt.trace_set, ReplayConfig.global_local())
+    assert result.cycles > 2 * dbt.cycles, name
+
+
+def test_table4_config_ordering(bench):
+    name, program, dbt, native = bench
+    slowdowns = {}
+    for key, config in [
+        ("gl", ReplayConfig.global_local()),
+        ("gnl", ReplayConfig.global_no_local()),
+        ("ngl", ReplayConfig.no_global_local()),
+    ]:
+        result, _ = replay(program, dbt.trace_set, config)
+        slowdowns[key] = result.cycles / native.cycles
+    empty_result, _ = replay(program, None, ReplayConfig.global_local())
+    slowdowns["empty"] = empty_result.cycles / native.cycles
+    bare = Pin(program).run()
+    slowdowns["bare"] = bare.cycles / native.cycles
+
+    assert slowdowns["bare"] < slowdowns["gl"], name
+    assert slowdowns["gl"] < slowdowns["empty"], name
+    assert slowdowns["gl"] <= slowdowns["gnl"] * 1.02, name
+
+
+def test_online_recording_matches_dbt_traces(bench):
+    name, program, dbt, _ = bench
+    tool = TeaRecordTool(strategy="mret",
+                         limits=RecorderLimits(hot_threshold=THRESHOLD))
+    Pin(program, tool=tool).run()
+    dbt_entries = {t.entry for t in dbt.trace_set}
+    online_entries = {t.entry for t in tool.trace_set}
+    assert online_entries == dbt_entries, name
+
+
+def test_recording_time_exceeds_replay_free_run(bench):
+    name, program, dbt, native = bench
+    tool = TeaRecordTool(strategy="mret",
+                         limits=RecorderLimits(hot_threshold=THRESHOLD))
+    result = Pin(program, tool=tool).run()
+    assert result.cycles > native.cycles * 2, name
+
+
+def test_strategy_size_ordering_branchy():
+    """gzip-shaped code: MRET << CTT << TT (the Table 1 explosion)."""
+    workload = load_benchmark("164.gzip", scale=0.8)
+    model = MemoryModel()
+    sizes = {}
+    for strategy in ("mret", "ctt", "tt"):
+        result = StarDBT(
+            workload.program, strategy=strategy,
+            limits=RecorderLimits(hot_threshold=10),
+        ).run()
+        sizes[strategy] = model.dbt_total_bytes(result.trace_set)
+    assert sizes["mret"] < sizes["ctt"] < sizes["tt"]
+    assert sizes["tt"] > 5 * sizes["mret"]
+
+
+def test_strategy_size_ordering_fp():
+    """swim-shaped code: TT < MRET < CTT (the paper's FP pattern)."""
+    workload = load_benchmark("171.swim", scale=1.0)
+    model = MemoryModel()
+    sizes = {}
+    for strategy in ("mret", "ctt", "tt"):
+        result = StarDBT(
+            workload.program, strategy=strategy,
+            limits=RecorderLimits(hot_threshold=10),
+        ).run()
+        sizes[strategy] = model.dbt_total_bytes(result.trace_set)
+    assert sizes["tt"] < sizes["mret"] < sizes["ctt"]
+
+
+def test_mesa_counting_quirk():
+    """Section 4.1: cold REP code makes Pin-counted replay coverage dip
+    below StarDBT-counted DBT coverage — mesa is the paper's exception."""
+    workload = load_benchmark("177.mesa", scale=1.0)
+    dbt = StarDBT(
+        workload.program, strategy="mret",
+        limits=RecorderLimits(hot_threshold=10),
+    ).run()
+    _, tool = replay(workload.program, dbt.trace_set,
+                     ReplayConfig.global_local())
+    pin_counted = tool.stats.coverage(pin_counting=True)
+    dbt_counted = tool.stats.coverage(pin_counting=False)
+    assert pin_counted < dbt_counted

@@ -1,0 +1,196 @@
+"""Operand/instruction/encoding/program unit tests."""
+
+import pytest
+
+from repro.errors import AssemblerError, ExecutionError
+from repro.isa import Imm, Mem, Reg, assemble
+from repro.isa.encoding import instruction_length
+from repro.isa.instructions import CONDITION_CODES, Instruction, OPCODES
+from repro.isa.operands import LabelRef
+from repro.isa.registers import is_register_name, register_index
+
+
+# ---------------------------------------------------------------------
+# registers
+# ---------------------------------------------------------------------
+
+def test_register_index_roundtrip():
+    for index, name in enumerate(
+        ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+    ):
+        assert register_index(name) == index
+        assert register_index(name.upper()) == index
+
+
+def test_register_index_unknown():
+    with pytest.raises(AssemblerError):
+        register_index("r15")
+
+
+def test_is_register_name():
+    assert is_register_name("eax")
+    assert is_register_name("ESP")
+    assert not is_register_name("foo")
+
+
+# ---------------------------------------------------------------------
+# operands
+# ---------------------------------------------------------------------
+
+def test_operand_equality_and_hash():
+    assert Reg(1) == Reg(1)
+    assert Reg(1) != Reg(2)
+    assert Imm(5) == Imm(5)
+    assert Mem(base=1, disp=4) == Mem(base=1, disp=4)
+    assert Mem(base=1, disp=4) != Mem(base=1, disp=8)
+    assert LabelRef("a") == LabelRef("a")
+    assert len({Reg(1), Reg(1), Imm(1), Mem(base=1)}) == 3
+
+
+def test_operand_repr_readable():
+    assert "eax" in repr(Reg(0))
+    assert str(Mem(base=1, index=2, scale=4, disp=8)) == "[ebx+ecx*4+0x8]"
+
+
+# ---------------------------------------------------------------------
+# instructions
+# ---------------------------------------------------------------------
+
+def test_all_condition_codes_have_opcodes():
+    for cc in CONDITION_CODES:
+        assert ("j" + cc) in OPCODES
+
+
+def test_instruction_flags():
+    jnz = Instruction("jnz", (Imm(0x100),))
+    assert jnz.is_control and jnz.is_conditional and not jnz.is_call
+    call = Instruction("call", (Imm(0x100),))
+    assert call.is_call and call.is_control and not call.is_indirect
+    ret = Instruction("ret", ())
+    assert ret.is_ret and ret.is_control
+    ind = Instruction("jmp", (Reg(0),))
+    assert ind.is_indirect and ind.is_control
+    rep = Instruction("rep_movsd", ())
+    assert rep.is_rep and rep.splits_block and not rep.is_control
+    cpuid = Instruction("cpuid", ())
+    assert cpuid.splits_block and not cpuid.is_control
+    add = Instruction("add", (Reg(0), Imm(1)))
+    assert not add.is_control and not add.splits_block
+
+
+def test_instruction_condition_suffix():
+    assert Instruction("jle", (Imm(0),)).condition == "le"
+    assert Instruction("jmp", (Imm(0),)).condition is None
+
+
+def test_instruction_arity_check():
+    with pytest.raises(AssemblerError):
+        Instruction("add", (Reg(0),))
+    with pytest.raises(AssemblerError):
+        Instruction("nop", (Reg(0),))
+
+
+def test_instruction_unknown_opcode():
+    with pytest.raises(AssemblerError):
+        Instruction("vfmadd231ps", ())
+
+
+def test_fallthrough_address():
+    instr = Instruction("nop", (), addr=0x100, length=1)
+    assert instr.fallthrough == 0x101
+
+
+# ---------------------------------------------------------------------
+# encoding model
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("opcode,operands,expected", [
+    ("nop", (), 1),
+    ("hlt", (), 1),
+    ("ret", (), 1),
+    ("cpuid", (), 2),
+    ("rep_movsd", (), 2),
+    ("push", (Reg(0),), 1),
+    ("pop", (Reg(0),), 1),
+    ("inc", (Reg(0),), 1),
+    ("not", (Reg(0),), 2),
+    ("jmp", (Imm(0x1000),), 5),
+    ("jmp", (Reg(0),), 2),
+    ("call", (Imm(0x1000),), 5),
+    ("jnz", (Imm(0x1000),), 6),
+    ("mov", (Reg(0), Reg(1)), 2),
+    ("mov", (Reg(0), Imm(5)), 3),
+    ("mov", (Reg(0), Imm(0x10000)), 6),
+    ("add", (Reg(0), Imm(1)), 3),
+    ("imul", (Reg(0), Reg(1)), 3),
+    ("shl", (Reg(0), Imm(3)), 3),
+])
+def test_instruction_lengths(opcode, operands, expected):
+    assert instruction_length(opcode, operands) == expected
+
+
+def test_memory_length_components():
+    short = instruction_length("mov", (Reg(0), Mem(base=1, disp=4)))
+    long = instruction_length("mov", (Reg(0), Mem(base=1, disp=0x1000)))
+    sib = instruction_length("mov", (Reg(0), Mem(base=1, index=2, scale=4)))
+    assert long == short + 3  # disp8 -> disp32
+    assert sib == instruction_length("mov", (Reg(0), Mem(base=1))) + 1
+
+
+def test_average_instruction_length_is_x86_like():
+    source = ["main:"]
+    source += ["    mov eax, [ebx+%d]" % (i * 4) for i in range(5)]
+    source += ["    add eax, 7", "    dec ecx", "    jnz main", "    hlt"]
+    program = assemble("\n".join(source))
+    average = program.code_size_bytes / len(program)
+    assert 2.0 <= average <= 5.0
+
+
+# ---------------------------------------------------------------------
+# program image
+# ---------------------------------------------------------------------
+
+def test_instruction_at_miss_raises():
+    program = assemble("main:\n    nop\n    hlt")
+    with pytest.raises(ExecutionError):
+        program.instruction_at(program.base + 999)
+
+
+def test_static_successors():
+    program = assemble("""
+main:
+    add eax, 1
+    jnz main
+    jmp main
+""")
+    add, jnz, jmp = program.instructions
+    assert program.static_successors(add) == (add.fallthrough,)
+    assert set(program.static_successors(jnz)) == {program.base, jnz.fallthrough}
+    assert program.static_successors(jmp) == (program.base,)
+
+
+def test_static_successors_indirect_and_ret():
+    program = assemble("""
+main:
+    jmp eax
+    ret
+    hlt
+""")
+    ind, ret, hlt = program.instructions
+    assert program.static_successors(ind) == ()
+    assert program.static_successors(ret) == ()
+    assert program.static_successors(hlt) == ()
+
+
+def test_static_successors_call():
+    program = assemble("""
+main:
+    call f
+    hlt
+f:
+    ret
+""")
+    call = program.instructions[0]
+    assert set(program.static_successors(call)) == {
+        program.label_addr("f"), call.fallthrough
+    }

@@ -1,0 +1,248 @@
+"""Additional unit coverage: machine helpers, events, errors, reporting,
+runner caching, and executor operand corner cases."""
+
+import pytest
+
+from repro.cpu import Machine, run_program
+from repro.cpu.events import CONTROL_KINDS, EdgeEvent
+from repro.errors import (
+    AssemblerError,
+    ExecutionError,
+    ReproError,
+    SerializationError,
+    TeaError,
+    TraceError,
+    WorkloadError,
+)
+from repro.harness.reporting import Column, Table
+from repro.isa import assemble
+
+
+# ---------------------------------------------------------------------
+# machine helpers
+# ---------------------------------------------------------------------
+
+def test_machine_word_helpers():
+    machine = Machine()
+    machine.store_words(0x1000, [1, 2, 3])
+    assert machine.load_words(0x1000, 3) == [1, 2, 3]
+    assert machine.load_words(0x2000, 2) == [0, 0]
+
+
+def test_machine_store_masks_to_32_bits():
+    machine = Machine()
+    machine.store(0x10, 0x1_2345_6789)
+    assert machine.load(0x10) == 0x2345_6789
+
+
+def test_machine_snapshot_is_deep():
+    machine = Machine()
+    machine.store(0x10, 5)
+    snapshot = machine.snapshot()
+    machine.store(0x10, 6)
+    assert snapshot["mem"][0x10] == 5
+
+
+def test_machine_repr_mentions_registers():
+    machine = Machine()
+    machine.regs[0] = 0xAB
+    assert "eax=0xab" in repr(machine)
+
+
+def test_apply_image_loads_program_data():
+    program = assemble("main:\n    hlt\n.data\nv: .word 42")
+    machine = Machine()
+    machine.apply_image(program)
+    assert machine.load(program.label_addr("v")) == 42
+
+
+# ---------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------
+
+def test_edge_event_backward_semantics():
+    taken_back = EdgeEvent(0x100, 0x100, True, "cond", 1, 1)
+    assert taken_back.is_backward  # equal address counts (self-loop)
+    taken_forward = EdgeEvent(0x100, 0x200, True, "cond", 1, 1)
+    assert not taken_forward.is_backward
+    untaken_back = EdgeEvent(0x100, 0x50, False, "cond", 1, 1)
+    assert not untaken_back.is_backward
+
+
+def test_edge_event_split_flag_and_repr():
+    split = EdgeEvent(0x100, 0x102, False, "split", 1, 10)
+    assert split.is_split
+    assert "split" in repr(split)
+    assert "cond" in CONTROL_KINDS and "split" not in CONTROL_KINDS
+
+
+# ---------------------------------------------------------------------
+# errors
+# ---------------------------------------------------------------------
+
+def test_error_hierarchy():
+    for error_type in (AssemblerError, ExecutionError, TraceError, TeaError,
+                       SerializationError, WorkloadError):
+        assert issubclass(error_type, ReproError)
+
+
+def test_assembler_error_line_prefix():
+    error = AssemblerError("boom", line=7)
+    assert str(error) == "line 7: boom"
+    assert error.line == 7
+    bare = AssemblerError("boom")
+    assert str(bare) == "boom"
+
+
+# ---------------------------------------------------------------------
+# executor operand corner cases
+# ---------------------------------------------------------------------
+
+def run_machine(source):
+    machine = Machine()
+    run_program(assemble(source), machine=machine)
+    return machine
+
+
+def test_push_immediate_and_memory():
+    machine = run_machine("""
+main:
+    push 42
+    pop eax
+    mov ebx, 0x3000
+    mov [ebx], eax
+    push [ebx]
+    pop ecx
+    hlt
+""")
+    assert machine.regs[0] == 42
+    assert machine.regs[2] == 42
+
+
+def test_pop_to_memory():
+    machine = run_machine("""
+main:
+    push 7
+    mov ebx, 0x3000
+    pop [ebx]
+    hlt
+""")
+    assert machine.load(0x3000) == 7
+
+
+def test_mov_memory_immediate():
+    machine = run_machine("""
+main:
+    mov ebx, 0x4000
+    mov [ebx+8], 99
+    mov eax, [ebx+8]
+    hlt
+""")
+    assert machine.regs[0] == 99
+
+
+def test_alu_on_memory_operand():
+    machine = run_machine("""
+main:
+    mov ebx, 0x4000
+    mov [ebx], 10
+    add [ebx], 5
+    mov eax, [ebx]
+    hlt
+""")
+    assert machine.regs[0] == 15
+
+
+def test_shift_by_zero_preserves_flags():
+    machine = run_machine("""
+main:
+    mov eax, 1
+    cmp eax, 2
+    mov ebx, 4
+    shl ebx, 0
+    hlt
+""")
+    assert machine.cf == 1  # the borrow survives the zero shift
+    assert machine.regs[1] == 4
+
+
+def test_inc_overflow_flag():
+    machine = run_machine("""
+main:
+    mov eax, 0x7FFFFFFF
+    inc eax
+    hlt
+""")
+    assert machine.regs[0] == 0x80000000
+    assert machine.of == 1 and machine.sf == 1
+
+
+def test_dec_overflow_flag():
+    machine = run_machine("""
+main:
+    mov eax, 0x80000000
+    dec eax
+    hlt
+""")
+    assert machine.of == 1 and machine.sf == 0
+
+
+def test_cpuid_writes_vendor():
+    machine = run_machine("main:\n    cpuid\n    hlt")
+    assert machine.regs[1] == 0x53583836  # "SX86"
+
+
+def test_indirect_jump_to_bad_address_raises():
+    with pytest.raises(ExecutionError):
+        run_machine("""
+main:
+    mov eax, 0x123
+    jmp eax
+""")
+
+
+# ---------------------------------------------------------------------
+# reporting edge cases
+# ---------------------------------------------------------------------
+
+def test_table_without_geomean():
+    table = Table("T", [Column("a"), Column("b", "ratio", in_geomean=True)])
+    table.add_row(["x", 3.0])
+    text = table.render(include_geomean=False)
+    assert "GeoMean" not in text
+
+
+def test_table_note_rendered():
+    table = Table("T", [Column("a")], note="a footnote")
+    table.add_row(["x"])
+    assert "a footnote" in table.render()
+    assert "*a footnote*" in table.render_markdown()
+
+
+def test_empty_table_renders_headers():
+    table = Table("T", [Column("a"), Column("b")])
+    text = table.render()
+    assert "a" in text and "b" in text
+
+
+def test_geomean_skips_none_cells():
+    table = Table("T", [Column("name"), Column("v", "ratio", in_geomean=True)])
+    table.add_row(["x", 4.0])
+    table.add_row(["y", None])
+    footer = table.geomean_row()
+    assert footer[1] == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------------
+# runner caching completeness
+# ---------------------------------------------------------------------
+
+def test_runner_caches_everything():
+    from repro.harness import HarnessConfig, Runner
+    runner = Runner(HarnessConfig(scale=0.3, hot_threshold=10,
+                                  benchmarks=["181.mcf"]))
+    assert runner.record("181.mcf") is runner.record("181.mcf")
+    assert runner.replay_empty("181.mcf") is runner.replay_empty("181.mcf")
+    assert runner.pin_without_tool("181.mcf") is \
+        runner.pin_without_tool("181.mcf")
+    assert runner.workload("181.mcf") is runner.workload("181.mcf")

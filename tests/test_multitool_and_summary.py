@@ -1,0 +1,72 @@
+"""MultiTool composition and harness summary tests."""
+
+import pytest
+
+from repro.analysis import DcfgTool
+from repro.harness import HarnessConfig, Runner
+from repro.harness.summary import PAPER, build_summary
+from repro.pin import Pin, TeaReplayTool
+from repro.pin.pintool import CallbackTool, MultiTool
+from tests.conftest import record_traces
+
+
+def test_multitool_requires_tools():
+    with pytest.raises(ValueError):
+        MultiTool([])
+
+
+def test_multitool_fans_out_transitions(simple_loop_program):
+    first, second = [], []
+    tool = MultiTool([
+        CallbackTool(on_transition=first.append),
+        CallbackTool(on_transition=second.append),
+    ])
+    Pin(simple_loop_program, tool=tool).run()
+    assert len(first) == len(second) > 0
+    assert first == second  # same objects, same order
+
+
+def test_multitool_replay_plus_dcfg_single_pass(nested_program):
+    trace_set = record_traces(nested_program).trace_set
+    replay_tool = TeaReplayTool(trace_set=trace_set)
+    dcfg_tool = DcfgTool()
+    combined = MultiTool([replay_tool, dcfg_tool])
+    result = Pin(nested_program, tool=combined).run()
+    # Both analyses saw the whole run.
+    assert replay_tool.stats.total_dbt == result.instrs_dbt
+    assert sum(n.instrs_dbt for n in dcfg_tool.dcfg.nodes.values()) == \
+        result.instrs_dbt
+    # They share one cost model (the engine's).
+    assert replay_tool.cost is dcfg_tool.cost is result.cost
+    assert len(combined) == 2
+    assert combined[0] is replay_tool
+
+
+def test_multitool_on_finish_propagates(simple_loop_program):
+    finished = []
+    tool = MultiTool([
+        CallbackTool(on_finish=lambda: finished.append(1)),
+        CallbackTool(on_finish=lambda: finished.append(2)),
+    ])
+    Pin(simple_loop_program, tool=tool).run()
+    assert finished == [1, 2]
+
+
+def test_summary_builds_and_checks_shapes():
+    runner = Runner(HarnessConfig(scale=0.5, hot_threshold=10,
+                                  benchmarks=["171.swim", "164.gzip"]))
+    table = build_summary(runner)
+    text = table.render(include_geomean=False)
+    assert "Headline claims" in text
+    assert "shape checks" in text
+    assert "FAIL" not in text, text
+    assert len(table.rows) == len(PAPER)
+
+
+def test_summary_cli(capsys):
+    from repro.harness.__main__ import main
+    code = main(["summary", "--benchmarks", "171.swim", "--scale", "0.4",
+                 "--threshold", "10", "--quiet"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "paper" in out and "measured" in out

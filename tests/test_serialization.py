@@ -1,0 +1,153 @@
+"""Serialization round-trips: trace sets and TEA + profile documents."""
+
+import json
+
+import pytest
+
+from repro.cfg.basic_block import BlockIndex
+from repro.core import ReplayConfig, TeaProfile, build_tea
+from repro.core.serialization import (
+    load_tea,
+    save_tea,
+    tea_from_json,
+    tea_to_json,
+)
+from repro.errors import SerializationError
+from repro.pin import Pin, TeaReplayTool
+from repro.traces.serialization import (
+    load_trace_set,
+    save_trace_set,
+    trace_set_from_json,
+    trace_set_to_json,
+)
+from tests.conftest import record_traces
+
+
+def test_trace_set_json_round_trip(nested_program, nested_traces):
+    document = trace_set_to_json(nested_traces)
+    text = json.dumps(document)  # must be JSON-serialisable
+    rebuilt = trace_set_from_json(
+        json.loads(text), BlockIndex(nested_program)
+    )
+    assert len(rebuilt) == len(nested_traces)
+    assert set(rebuilt.by_entry) == set(nested_traces.by_entry)
+    for trace in nested_traces:
+        twin = rebuilt.trace_at(trace.entry)
+        assert [tbb.block.key for tbb in twin] == [
+            tbb.block.key for tbb in trace
+        ]
+        assert [tbb.successors for tbb in twin] == [
+            tbb.successors for tbb in trace
+        ]
+
+
+def test_trace_set_file_round_trip(tmp_path, nested_program, nested_traces):
+    path = tmp_path / "traces.json"
+    save_trace_set(nested_traces, str(path))
+    rebuilt = load_trace_set(str(path), BlockIndex(nested_program))
+    assert rebuilt.n_tbbs == nested_traces.n_tbbs
+    assert rebuilt.n_edges == nested_traces.n_edges
+
+
+def test_trace_set_rejects_bad_version(nested_program, nested_traces):
+    document = trace_set_to_json(nested_traces)
+    document["version"] = 99
+    with pytest.raises(SerializationError):
+        trace_set_from_json(document, BlockIndex(nested_program))
+
+
+def test_trace_set_rejects_malformed(nested_program):
+    with pytest.raises(SerializationError):
+        trace_set_from_json({"version": 1}, BlockIndex(nested_program))
+
+
+def test_trace_set_rejects_label_mismatch(nested_program, nested_traces):
+    document = trace_set_to_json(nested_traces)
+    edge = None
+    for payload in document["traces"]:
+        if payload["edges"]:
+            edge = payload["edges"][0]
+            break
+    assert edge is not None
+    edge[2] ^= 0x4  # corrupt the label
+    with pytest.raises(SerializationError):
+        trace_set_from_json(document, BlockIndex(nested_program))
+
+
+def test_load_missing_file_raises(tmp_path, nested_program):
+    with pytest.raises(SerializationError):
+        load_trace_set(str(tmp_path / "nope.json"), BlockIndex(nested_program))
+
+
+def test_load_corrupt_json(tmp_path, nested_program):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(SerializationError):
+        load_trace_set(str(path), BlockIndex(nested_program))
+
+
+# ---------------------------------------------------------------------
+# TEA document
+# ---------------------------------------------------------------------
+
+def test_tea_round_trip_with_profile(tmp_path, nested_program, nested_traces):
+    tea = build_tea(nested_traces)
+    profile = TeaProfile()
+    tool = TeaReplayTool(trace_set=nested_traces, profile=profile)
+    Pin(nested_program, tool=tool).run()
+
+    path = tmp_path / "tea.json"
+    save_tea(str(path), nested_traces, tea=tool.tea, profile=profile)
+    rebuilt_set, rebuilt_tea, rebuilt_profile = load_tea(
+        str(path), BlockIndex(nested_program)
+    )
+    assert rebuilt_tea.n_states == tool.tea.n_states
+    assert rebuilt_tea.n_transitions == tool.tea.n_transitions
+    assert rebuilt_profile is not None
+    # Counts survive keyed by (trace, index), not fragile state ids.
+    for trace in rebuilt_set:
+        for tbb in trace:
+            old_state = tool.tea.state_for(
+                nested_traces.trace_at(trace.entry).tbbs[tbb.index]
+            )
+            new_state = rebuilt_tea.state_for(tbb)
+            assert rebuilt_profile.state_counts.get(new_state.sid, 0) == \
+                profile.state_counts.get(old_state.sid, 0)
+
+
+def test_tea_round_trip_without_profile(tmp_path, nested_program, nested_traces):
+    path = tmp_path / "tea.json"
+    save_tea(str(path), nested_traces)
+    rebuilt_set, rebuilt_tea, rebuilt_profile = load_tea(
+        str(path), BlockIndex(nested_program)
+    )
+    assert rebuilt_profile is None
+    assert rebuilt_tea.n_traces == len(nested_traces)
+
+
+def test_tea_profile_requires_tea(nested_traces):
+    with pytest.raises(SerializationError):
+        tea_to_json(nested_traces, tea=None, profile=TeaProfile())
+
+
+def test_tea_rejects_bad_version(nested_program, nested_traces):
+    document = tea_to_json(nested_traces)
+    document["version"] = 5
+    with pytest.raises(SerializationError):
+        tea_from_json(document, BlockIndex(nested_program))
+
+
+def test_cross_environment_replay(tmp_path, nested_program, nested_traces):
+    """The paper's headline flow: record in the DBT, serialize, replay
+    under the instrumentation engine in a different process/world."""
+    path = tmp_path / "stardbt_traces.json"
+    save_trace_set(nested_traces, str(path))
+
+    # "Another system": fresh block index, fresh everything.
+    fresh_index = BlockIndex(nested_program)
+    loaded = load_trace_set(str(path), fresh_index)
+    tool = TeaReplayTool(trace_set=loaded, config=ReplayConfig.global_local())
+    Pin(nested_program, tool=tool).run()
+    direct_tool = TeaReplayTool(trace_set=nested_traces)
+    Pin(nested_program, tool=direct_tool).run()
+    assert tool.coverage == pytest.approx(direct_tool.coverage)

@@ -1,0 +1,265 @@
+"""B+ tree and local cache tests, including model-based properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import BPlusTree, DirectMappedCache, LRUCache
+
+keys = st.integers(min_value=0, max_value=10_000)
+
+
+# ---------------------------------------------------------------------
+# B+ tree basics
+# ---------------------------------------------------------------------
+
+def test_empty_tree():
+    tree = BPlusTree(order=4)
+    assert len(tree) == 0
+    value, visited = tree.search(42)
+    assert value is None
+    assert visited == 1
+    assert list(tree.items()) == []
+
+
+def test_insert_and_search():
+    tree = BPlusTree(order=4)
+    tree.insert(10, "a")
+    tree.insert(5, "b")
+    tree.insert(20, "c")
+    assert tree.search(10)[0] == "a"
+    assert tree.search(5)[0] == "b"
+    assert tree.search(20)[0] == "c"
+    assert tree.search(15)[0] is None
+
+
+def test_insert_replaces_existing():
+    tree = BPlusTree(order=4)
+    tree.insert(1, "old")
+    tree.insert(1, "new")
+    assert len(tree) == 1
+    assert tree.search(1)[0] == "new"
+
+
+def test_split_grows_height():
+    tree = BPlusTree(order=3)
+    for key in range(20):
+        tree.insert(key, key)
+    assert tree.height > 1
+    tree.check_invariants()
+    assert list(tree.keys()) == list(range(20))
+
+
+def test_search_cost_grows_logarithmically():
+    small = BPlusTree(order=4)
+    large = BPlusTree(order=4)
+    for key in range(8):
+        small.insert(key, key)
+    for key in range(4096):
+        large.insert(key, key)
+    _, small_visits = small.search(3)
+    _, large_visits = large.search(3000)
+    assert small_visits < large_visits <= 8  # log_2(4096)/log_2(2) bound-ish
+
+
+def test_range_query():
+    tree = BPlusTree(order=4)
+    for key in range(0, 100, 3):
+        tree.insert(key, -key)
+    window = list(tree.range(10, 40))
+    assert window == [(k, -k) for k in range(12, 40, 3)]
+
+
+def test_delete_leaf_simple():
+    tree = BPlusTree(order=4)
+    for key in range(10):
+        tree.insert(key, key)
+    assert tree.delete(5)
+    assert not tree.delete(5)
+    assert tree.search(5)[0] is None
+    assert len(tree) == 9
+    tree.check_invariants()
+
+
+def test_delete_everything_collapses_root():
+    tree = BPlusTree(order=3)
+    for key in range(50):
+        tree.insert(key, key)
+    for key in range(50):
+        assert tree.delete(key)
+        tree.check_invariants()
+    assert len(tree) == 0
+    assert tree.height == 1
+
+
+def test_delete_reverse_order():
+    tree = BPlusTree(order=4)
+    for key in range(64):
+        tree.insert(key, key)
+    for key in reversed(range(64)):
+        assert tree.delete(key)
+        tree.check_invariants()
+    assert list(tree.items()) == []
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+def test_contains():
+    tree = BPlusTree(order=4)
+    tree.insert(7, "x")
+    assert 7 in tree
+    assert 8 not in tree
+
+
+def test_node_count_accounts_internal_nodes():
+    tree = BPlusTree(order=3)
+    assert tree.node_count() == 1
+    for key in range(30):
+        tree.insert(key, key)
+    assert tree.node_count() > tree.height
+
+
+# ---------------------------------------------------------------------
+# B+ tree model-based property tests
+# ---------------------------------------------------------------------
+
+@given(st.lists(st.tuples(keys, st.integers()), max_size=200),
+       st.integers(min_value=3, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_tree_matches_dict_model(operations, order):
+    tree = BPlusTree(order=order)
+    model = {}
+    for key, value in operations:
+        tree.insert(key, value)
+        model[key] = value
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    for key in model:
+        assert tree.search(key)[0] == model[key]
+
+
+@given(st.lists(keys, min_size=1, max_size=150, unique=True),
+       st.data(),
+       st.integers(min_value=3, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_tree_insert_delete_interleaved(initial, data, order):
+    tree = BPlusTree(order=order)
+    model = {}
+    for key in initial:
+        tree.insert(key, key * 2)
+        model[key] = key * 2
+    to_delete = data.draw(
+        st.lists(st.sampled_from(initial), max_size=len(initial), unique=True)
+    )
+    for key in to_delete:
+        assert tree.delete(key) == (key in model)
+        model.pop(key, None)
+        tree.check_invariants()
+    assert list(tree.items()) == sorted(model.items())
+
+
+@given(st.lists(keys, max_size=120, unique=True), keys, keys)
+@settings(max_examples=60, deadline=None)
+def test_tree_range_matches_model(inserted, low, high):
+    low, high = min(low, high), max(low, high)
+    tree = BPlusTree(order=5)
+    for key in inserted:
+        tree.insert(key, key)
+    expected = sorted(k for k in inserted if low <= k < high)
+    assert [k for k, _ in tree.range(low, high)] == expected
+
+
+# ---------------------------------------------------------------------
+# caches
+# ---------------------------------------------------------------------
+
+def test_lru_hit_miss_counts():
+    cache = LRUCache(2)
+    assert cache.lookup(1) is None
+    cache.insert(1, "a")
+    assert cache.lookup(1) == "a"
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_evicts_least_recent():
+    cache = LRUCache(2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    cache.lookup(1)          # 1 becomes most recent
+    cache.insert(3, "c")     # evicts 2
+    assert cache.lookup(2) is None
+    assert cache.lookup(1) == "a"
+    assert cache.lookup(3) == "c"
+
+
+def test_lru_update_moves_to_end():
+    cache = LRUCache(2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    cache.insert(1, "a2")    # refresh key 1
+    cache.insert(3, "c")     # evicts 2, not 1
+    assert 1 in cache and 3 in cache and 2 not in cache
+
+
+def test_lru_invalidate_and_clear():
+    cache = LRUCache(4)
+    cache.insert(1, "a")
+    cache.invalidate(1)
+    assert cache.lookup(1) is None
+    cache.insert(2, "b")
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_direct_mapped_conflict_eviction():
+    cache = DirectMappedCache(4)
+    cache.insert(0, "a")
+    cache.insert(4, "b")  # same slot as 0
+    assert cache.lookup(0) is None
+    assert cache.lookup(4) == "b"
+
+
+def test_direct_mapped_distinct_slots():
+    cache = DirectMappedCache(4)
+    for key in range(4):
+        cache.insert(key, key)
+    for key in range(4):
+        assert cache.lookup(key) == key
+
+
+def test_cache_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+    with pytest.raises(ValueError):
+        DirectMappedCache(0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.booleans()), max_size=200),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_lru_never_exceeds_capacity_and_agrees_with_model(ops, capacity):
+    from collections import OrderedDict
+    cache = LRUCache(capacity)
+    model = OrderedDict()
+    for key, is_insert in ops:
+        if is_insert:
+            cache.insert(key, key)
+            if key in model:
+                model.move_to_end(key)
+            model[key] = key
+            if len(model) > capacity:
+                model.popitem(last=False)
+        else:
+            found = cache.lookup(key)
+            if key in model:
+                model.move_to_end(key)
+                assert found == model[key]
+            else:
+                assert found is None
+        assert len(cache) <= capacity
+    assert set(model) == {
+        key for key in range(51) if key in cache
+    }

@@ -1,0 +1,103 @@
+"""record / replay / info CLI tests."""
+
+import pytest
+
+from repro.tools.__main__ import main
+from tests.conftest import SIMPLE_LOOP_SOURCE
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.s"
+    path.write_text(SIMPLE_LOOP_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def trace_file(tmp_path, source_file, capsys):
+    path = tmp_path / "traces.json"
+    code = main(["record", "--source", source_file, "--threshold", "10",
+                 "--out", str(path)])
+    capsys.readouterr()
+    assert code == 0
+    return str(path)
+
+
+def test_record_benchmark(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    code = main(["record", "--benchmark", "181.mcf", "--scale", "0.3",
+                 "--threshold", "10", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    output = capsys.readouterr().out
+    assert "recorded" in output and "savings" in output
+
+
+def test_record_source_file(source_file, tmp_path, capsys):
+    out = tmp_path / "t.json"
+    code = main(["record", "--source", source_file, "--threshold", "10",
+                 "--out", str(out)])
+    assert code == 0
+    assert "MRET traces" in capsys.readouterr().out
+
+
+def test_record_other_strategy(source_file, tmp_path, capsys):
+    out = tmp_path / "t.json"
+    code = main(["record", "--source", source_file, "--strategy", "tt",
+                 "--threshold", "10", "--out", str(out)])
+    assert code == 0
+    assert "TT traces" in capsys.readouterr().out
+
+
+def test_replay_round_trip(source_file, trace_file, capsys):
+    code = main(["replay", "--source", source_file, "--traces", trace_file])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "replay coverage" in output
+    assert "Global / Local" in output
+
+
+def test_replay_with_profile(source_file, trace_file, capsys):
+    code = main(["replay", "--source", source_file, "--traces", trace_file,
+                 "--profile", "--top", "3"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "hottest trace blocks" in output
+    assert "$$T" in output
+
+
+def test_replay_alternate_config(source_file, trace_file, capsys):
+    code = main(["replay", "--source", source_file, "--traces", trace_file,
+                 "--config", "no_global_local"])
+    assert code == 0
+    assert "No Global / Local" in capsys.readouterr().out
+
+
+def test_replay_link_traces(source_file, trace_file, capsys):
+    code = main(["replay", "--source", source_file, "--traces", trace_file,
+                 "--link-traces"])
+    assert code == 0
+
+
+def test_info(trace_file, capsys):
+    code = main(["info", "--traces", trace_file])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "format v1" in output
+    assert "T1" in output
+
+
+def test_missing_trace_file_is_clean_error(source_file, tmp_path, capsys):
+    code = main(["replay", "--source", source_file,
+                 "--traces", str(tmp_path / "missing.json")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_source_is_clean_error(tmp_path, capsys):
+    bad = tmp_path / "bad.s"
+    bad.write_text("main:\n    warp 9")
+    out = tmp_path / "t.json"
+    code = main(["record", "--source", str(bad), "--out", str(out)])
+    assert code == 1
+    assert "unknown opcode" in capsys.readouterr().err

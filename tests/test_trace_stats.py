@@ -1,0 +1,63 @@
+"""Trace-set statistics tests, incl. the duplication-factor ordering."""
+
+import pytest
+
+from repro.traces.model import TraceSet
+from repro.traces.stats import compare_strategies, compute_stats
+from repro.workloads import load_benchmark
+from tests.conftest import record_traces
+
+
+def test_empty_set_stats():
+    stats = compute_stats(TraceSet())
+    assert stats.n_traces == 0
+    assert stats.duplication_factor == 0.0
+    assert stats.max_trace_length == 0
+    assert "traces:" in stats.to_text()
+
+
+def test_simple_loop_stats(simple_loop_program):
+    trace_set = record_traces(simple_loop_program).trace_set
+    stats = compute_stats(trace_set)
+    assert stats.n_traces == len(trace_set)
+    assert stats.n_tbbs == trace_set.n_tbbs
+    assert stats.duplication_factor == pytest.approx(1.0)
+    assert stats.cyclic_traces >= 1  # the hot loop cycles through its head
+    assert stats.mean_block_instrs > 0
+    assert stats.edges_per_tbb > 0
+
+
+def test_duplication_counts_shared_blocks(nested_program):
+    trace_set = record_traces(nested_program).trace_set
+    stats = compute_stats(trace_set)
+    # The diamond workload shares blocks across traces.
+    assert stats.n_distinct_blocks <= stats.n_tbbs
+    assert stats.duplication_factor >= 1.0
+    assert stats.max_block_duplication >= 1
+
+
+def test_duplication_factor_orders_strategies():
+    """TT >> CTT >= MRET in duplication — 'Compact', quantified."""
+    workload = load_benchmark("164.gzip", scale=0.8)
+    factors = {}
+    for strategy in ("mret", "ctt", "tt"):
+        trace_set = record_traces(workload.program,
+                                  strategy=strategy).trace_set
+        factors[strategy] = compute_stats(trace_set).duplication_factor
+    assert factors["tt"] > 2 * factors["ctt"]
+    assert factors["ctt"] >= factors["mret"] * 0.9
+
+
+def test_compare_strategies_helper(nested_program):
+    sets = {
+        strategy: record_traces(nested_program, strategy=strategy).trace_set
+        for strategy in ("mret", "tt")
+    }
+    compared = compare_strategies(sets)
+    assert set(compared) == {"mret", "tt"}
+    assert compared["tt"].n_tbbs >= compared["mret"].n_tbbs
+
+
+def test_stats_repr(nested_traces):
+    stats = compute_stats(nested_traces)
+    assert "dup=" in repr(stats)

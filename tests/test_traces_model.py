@@ -1,0 +1,177 @@
+"""Trace data model tests: TBB / Trace / TraceSet (Definitions 1-3)."""
+
+import pytest
+
+from repro.cfg.basic_block import BlockIndex
+from repro.errors import TraceError
+from repro.isa import assemble
+from repro.traces.model import Trace, TraceSet
+
+
+@pytest.fixture
+def blocks(nested_program):
+    index = BlockIndex(nested_program)
+    program = nested_program
+    inner = program.label_addr("inner")
+    skip = program.label_addr("skip")
+    # inner block: add/test/jnz ; skip block: dec/jnz
+    inner_block = index.block(inner, program.instructions[5].addr)
+    skip_block = index.block(skip, program.instructions[8].addr)
+    return inner_block, skip_block
+
+
+def test_tbb_naming_is_paper_style(blocks):
+    inner_block, _ = blocks
+    trace = Trace(1, "mret")
+    tbb = trace.add_block(inner_block)
+    assert tbb.name == "$$T1.%#x" % inner_block.start
+    assert tbb.index == 0
+
+
+def test_same_block_in_two_traces_gives_distinct_tbbs(blocks):
+    inner_block, _ = blocks
+    t1 = Trace(1, "mret")
+    t2 = Trace(2, "mret")
+    a = t1.add_block(inner_block)
+    b = t2.add_block(inner_block)
+    assert a.block is b.block
+    assert a.name != b.name
+
+
+def test_trace_edges_labelled_by_successor_start(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    trace.add_block(inner_block)
+    trace.add_block(skip_block)
+    trace.add_edge(0, 1)
+    assert trace.tbbs[0].successors == {skip_block.start: 1}
+
+
+def test_nondeterministic_edge_rejected(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    trace.add_block(inner_block)
+    trace.add_block(skip_block)
+    trace.add_block(skip_block)  # second instance, same start
+    trace.add_edge(0, 1)
+    with pytest.raises(TraceError):
+        trace.add_edge(0, 2)  # same label, different successor
+
+
+def test_duplicate_edge_is_idempotent(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    trace.add_block(inner_block)
+    trace.add_block(skip_block)
+    trace.add_edge(0, 1)
+    trace.add_edge(0, 1)
+    assert trace.n_edges == 1
+
+
+def test_exit_labels_for_conditional(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    tbb = trace.add_block(inner_block)
+    # no in-trace edges: both sides of the jnz are exits
+    exits = set(tbb.exit_labels())
+    terminator = inner_block.terminator
+    assert exits == {terminator.target, terminator.fallthrough}
+
+
+def test_exit_labels_shrink_with_edges(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    trace.add_block(inner_block)
+    trace.add_block(skip_block)
+    trace.add_edge(0, 1)
+    remaining = trace.tbbs[0].exit_labels()
+    assert skip_block.start not in remaining
+    assert len(remaining) == 1
+
+
+def test_exit_labels_indirect_is_unknown():
+    program = assemble("""
+main:
+    jmp eax
+    hlt
+""")
+    index = BlockIndex(program)
+    block = index.block(program.entry, program.entry)
+    trace = Trace(1, "mret")
+    tbb = trace.add_block(block)
+    assert tbb.exit_labels() == (None,)
+
+
+def test_trace_metrics(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    trace.add_block(inner_block)
+    trace.add_block(skip_block)
+    trace.add_edge(0, 1)
+    trace.add_edge(1, 0)
+    assert len(trace) == 2
+    assert trace.n_edges == 2
+    assert trace.n_instructions == inner_block.n_instrs + skip_block.n_instrs
+    assert trace.code_bytes == inner_block.size_bytes + skip_block.size_bytes
+
+
+def test_empty_trace_has_no_entry():
+    trace = Trace(1, "mret")
+    with pytest.raises(TraceError):
+        trace.entry
+
+
+def test_validate_catches_dangling_edge(blocks):
+    inner_block, _ = blocks
+    trace = Trace(1, "mret")
+    tbb = trace.add_block(inner_block)
+    tbb.successors[inner_block.start] = 5  # forged dangling edge
+    with pytest.raises(TraceError):
+        trace.validate()
+
+
+def test_validate_catches_label_mismatch(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    trace.add_block(inner_block)
+    trace.add_block(skip_block)
+    trace.tbbs[0].successors[0xDEAD] = 1  # label != successor start
+    with pytest.raises(TraceError):
+        trace.validate()
+
+
+def test_trace_set_rejects_duplicate_entry(blocks):
+    inner_block, _ = blocks
+    trace_set = TraceSet(kind="mret")
+    first = trace_set.new_trace()
+    first.add_block(inner_block)
+    trace_set.add(first)
+    second = trace_set.new_trace()
+    second.add_block(inner_block)
+    with pytest.raises(TraceError):
+        trace_set.add(second)
+
+
+def test_trace_set_lookup(blocks):
+    inner_block, skip_block = blocks
+    trace_set = TraceSet(kind="mret")
+    trace = trace_set.new_trace()
+    trace.add_block(inner_block)
+    trace_set.add(trace)
+    assert trace_set.has_entry(inner_block.start)
+    assert trace_set.trace_at(inner_block.start) is trace
+    assert trace_set.trace_at(skip_block.start) is None
+
+
+def test_trace_set_aggregates(nested_traces):
+    assert len(nested_traces) >= 2
+    assert nested_traces.n_tbbs >= len(nested_traces)
+    assert nested_traces.code_bytes > 0
+    nested_traces.validate()
+
+
+def test_recorded_traces_have_consistent_edges(nested_traces):
+    for trace in nested_traces:
+        for tbb in trace:
+            for label, successor in tbb.successors.items():
+                assert trace.tbbs[successor].block.start == label
