@@ -39,6 +39,7 @@ from repro.cpu import Executor, Machine, run_program
 from repro.dbt import CodeCache, CostModel, CostParameters, StarDBT
 from repro.errors import ReproError
 from repro.isa import Program, assemble
+from repro.obs import EventTracer, MetricsRegistry, Observability
 from repro.pin import Pin, Pintool, TeaRecordTool, TeaReplayTool, run_native
 from repro.traces import (
     STRATEGIES,
@@ -88,6 +89,10 @@ __all__ = [
     "TeaReplayTool",
     "TeaRecordTool",
     "run_native",
+    # observability
+    "Observability",
+    "MetricsRegistry",
+    "EventTracer",
     # workloads
     "BENCHMARKS",
     "load_benchmark",

@@ -32,6 +32,11 @@ class LinkedListDirectory:
         self.probes = 0
         self.elements_scanned = 0
 
+    @property
+    def units(self):
+        """Uniform work counter (elements scanned) for observability."""
+        return self.elements_scanned
+
     def insert(self, addr, state):
         for position, (existing, _value) in enumerate(self._entries):
             if existing == addr:
@@ -64,6 +69,11 @@ class BPlusTreeDirectory:
         self._tree = BPlusTree(order=order)
         self.probes = 0
         self.nodes_visited = 0
+
+    @property
+    def units(self):
+        """Uniform work counter (nodes visited) for observability."""
+        return self.nodes_visited
 
     def insert(self, addr, state):
         self._tree.insert(addr, state)
@@ -104,6 +114,11 @@ class HashDirectory:
         self._count = 0
         self.probes = 0
         self.slots_probed = 0
+
+    @property
+    def units(self):
+        """Uniform work counter (slots touched) for observability."""
+        return self.slots_probed
 
     def __len__(self):
         return self._count
@@ -165,6 +180,11 @@ class SortedArrayDirectory:
         self._states = []
         self.probes = 0
         self.comparisons = 0
+
+    @property
+    def units(self):
+        """Uniform work counter (comparisons) for observability."""
+        return self.comparisons
 
     def __len__(self):
         return len(self._addrs)

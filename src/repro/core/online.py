@@ -22,16 +22,23 @@ from repro.traces.recorder import STATE_CREATING
 
 
 class OnlineTeaRecorder:
-    """Record traces and grow a TEA while the program executes."""
+    """Record traces and grow a TEA while the program executes.
 
-    def __init__(self, recorder, config=None, cost=None, profile=None):
+    ``obs`` (optional :class:`~repro.obs.Observability`) is shared with
+    the embedded replayer; recording-side events land in ``record.*``
+    counters and trace commits are emitted to the tracer.
+    """
+
+    def __init__(self, recorder, config=None, cost=None, profile=None,
+                 obs=None):
         self.tea = TEA()
         self.recorder = recorder
         recorder.on_trace = self._trace_committed
         self.replayer = TeaReplayer(
             self.tea, config=config or ReplayConfig.global_local(),
-            cost=cost, profile=profile,
+            cost=cost, profile=profile, obs=obs,
         )
+        self.obs = self.replayer.obs
         self._synced = set()
 
     @property
@@ -46,16 +53,26 @@ class OnlineTeaRecorder:
         sync_trace(self.tea, trace)
         self.replayer.register_trace(trace.entry, self.tea.state_for(trace.tbbs[0]))
         self._synced.add(trace.trace_id)
+        self.obs.metrics.counter("record.traces_committed").inc()
+        self.obs.emit(
+            "record.trace_committed",
+            trace_id=trace.trace_id,
+            entry=trace.entry,
+            tbbs=len(trace.tbbs),
+        )
 
     def observe(self, transition):
         """Feed one block transition to both the recorder and the replayer."""
         params = self.cost.params
+        metrics = self.obs.metrics
         event = transition.event
         if event is not None and event.is_backward:
             self.cost.charge("recording", params.RECORD_COUNTER)
+            metrics.counter("record.backward_edges").inc()
         self.recorder.observe(transition)
         if self.recorder.state == STATE_CREATING:
             self.cost.charge("recording", params.RECORD_APPEND)
+            metrics.counter("record.appends").inc()
         self.replayer.step(transition)
 
     def finish(self):
@@ -66,3 +83,13 @@ class OnlineTeaRecorder:
             # them; sync_trace is idempotent, so re-walk everything.
             sync_trace(self.tea, trace)
         return traces
+
+    def snapshot(self):
+        """Observability snapshot: replayer metrics plus recording totals."""
+        snap = self.replayer.snapshot()
+        snap["recording"] = {
+            "traces_committed": len(self._synced),
+            "tea_states": self.tea.n_states,
+            "tea_transitions": self.tea.n_transitions,
+        }
+        return snap

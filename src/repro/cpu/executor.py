@@ -395,13 +395,20 @@ class Executor:
     max_instructions:
         Budget in StarDBT-counted instructions; exceeding it raises
         :class:`~repro.errors.InstructionLimitExceeded`.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  The dispatch loop
+        itself is never instrumented; run totals are flushed into
+        ``exec.*`` counters and the ``exec.run`` phase timer at run
+        boundaries, so observation costs nothing per instruction.
     """
 
-    def __init__(self, program, machine=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    def __init__(self, program, machine=None,
+                 max_instructions=DEFAULT_MAX_INSTRUCTIONS, obs=None):
         self.program = program
         self.machine = machine if machine is not None else Machine()
         self.machine.apply_image(program)
         self.max_instructions = max_instructions
+        self.obs = obs
         self._decoded = self._decode_all(program)
 
     @staticmethod
@@ -443,6 +450,19 @@ class Executor:
         ``on_event`` is called with every :class:`EdgeEvent`; pass ``None``
         to run silently (native-execution baseline).
         """
+        obs = self.obs
+        if obs is None:
+            return self._run(on_event)
+        with obs.metrics.timer("exec.run"):
+            result = self._run(on_event)
+        metrics = obs.metrics
+        metrics.counter("exec.runs").inc()
+        metrics.counter("exec.instructions_dbt").inc(result.instrs_dbt)
+        metrics.counter("exec.instructions_pin").inc(result.instrs_pin)
+        metrics.counter("exec.edges").inc(result.edges)
+        return result
+
+    def _run(self, on_event):
         machine = self.machine
         decoded = self._decoded
         budget = self.max_instructions
@@ -558,7 +578,8 @@ class Executor:
 
 
 def run_program(program, on_event=None, machine=None,
-                max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+                max_instructions=DEFAULT_MAX_INSTRUCTIONS, obs=None):
     """One-shot convenience: build an :class:`Executor` and run it."""
-    executor = Executor(program, machine=machine, max_instructions=max_instructions)
+    executor = Executor(program, machine=machine,
+                        max_instructions=max_instructions, obs=obs)
     return executor.run(on_event)

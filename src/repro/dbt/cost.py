@@ -29,7 +29,10 @@ TEA transition function (Section 4.2)
     ``CALLBACK_SLOW`` — the out-of-line instrumentation call taken on any
     other path (context spill + call; dominates the "Empty" column).
     ``IN_TRACE_TRANSITION`` — successor-map hit work.
-    ``CACHE_HIT`` / ``CACHE_INSERT`` — the per-state local cache.
+    ``CACHE_HIT`` / ``CACHE_MISS`` / ``CACHE_INSERT`` — the per-state
+    local cache (a failed probe costs ``CACHE_MISS``, equal to
+    ``CACHE_HIT`` by default since probing costs the same whether or not
+    the entry is present).
     ``LIST_ELEMENT`` — per linked-list entry scanned on a global probe
     (the "No Global" configurations; linear in trace count — gcc and
     vortex blow up exactly as in Table 4).
@@ -65,6 +68,7 @@ class CostParameters:
         "CALLBACK_SLOW",
         "IN_TRACE_TRANSITION",
         "CACHE_HIT",
+        "CACHE_MISS",
         "CACHE_INSERT",
         "LIST_ELEMENT",
         "BPTREE_NODE",
@@ -88,6 +92,7 @@ class CostParameters:
         self.CALLBACK_SLOW = 110.0
         self.IN_TRACE_TRANSITION = 12.0
         self.CACHE_HIT = 6.0
+        self.CACHE_MISS = 6.0
         self.CACHE_INSERT = 4.0
         self.LIST_ELEMENT = 3.0
         self.BPTREE_NODE = 18.0

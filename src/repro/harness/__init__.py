@@ -10,7 +10,7 @@
 CLI: ``python -m repro.harness table1|table2|table3|table4|figures|all``.
 """
 
-from repro.harness.reporting import Table
+from repro.harness.reporting import Table, render_metrics
 from repro.harness.runner import HarnessConfig, Runner
 from repro.harness.tables import table1, table2, table3, table4
 
@@ -18,6 +18,7 @@ __all__ = [
     "HarnessConfig",
     "Runner",
     "Table",
+    "render_metrics",
     "table1",
     "table2",
     "table3",

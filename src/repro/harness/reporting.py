@@ -1,4 +1,8 @@
-"""Table rendering with GeoMean footer rows, paper style."""
+"""Table rendering with GeoMean footer rows, paper style.
+
+Also renders observability snapshots (``repro.obs``) as plain text for
+the ``repro tools metrics`` command and harness diagnostics.
+"""
 
 import math
 
@@ -9,6 +13,55 @@ def geomean(values):
     if not usable:
         return 0.0
     return math.exp(sum(math.log(value) for value in usable) / len(usable))
+
+
+def render_metrics(snapshot):
+    """Plain-text rendering of an observability snapshot dict.
+
+    Accepts the dicts produced by ``Observability.snapshot()`` /
+    ``TeaReplayer.snapshot()``: a ``metrics`` section (counters, gauges,
+    timers), optional ``trace`` ring content, and optional ``cost`` /
+    ``recording`` extras.
+    """
+    lines = []
+    metrics = snapshot.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append("  %-32s %16d" % (name, value))
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append("  %-32s %16s" % (name, value))
+    timers = metrics.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        for name, timing in timers.items():
+            lines.append(
+                "  %-32s %13.6fs x%d"
+                % (name, timing["seconds"], timing["count"])
+            )
+    cost = snapshot.get("cost")
+    if cost:
+        lines.append("cost: %.0f cycles" % cost["cycles"])
+        for category, cycles in sorted(
+            cost["breakdown"].items(), key=lambda item: -item[1]
+        ):
+            lines.append("  %-32s %16.0f" % (category, cycles))
+    trace = snapshot.get("trace")
+    if trace:
+        lines.append(
+            "trace ring: %d/%d events (%d dropped)"
+            % (len(trace["events"]), trace["capacity"], trace["dropped"])
+        )
+        for event in trace["events"]:
+            lines.append(
+                "  #%-6d %-24s %s"
+                % (event["seq"], event["category"], event["payload"])
+            )
+    return "\n".join(lines) if lines else "(no metrics)"
 
 
 class Column:

@@ -14,6 +14,7 @@ fraction of the run, as in the paper.
 
 from repro.core import MemoryModel, ReplayConfig
 from repro.dbt import StarDBT
+from repro.obs import Observability
 from repro.pin import Pin, TeaReplayTool, TeaRecordTool, run_native
 from repro.traces.recorder import RecorderLimits
 from repro.workloads import BENCHMARKS, load_benchmark
@@ -42,11 +43,18 @@ class HarnessConfig:
 
 
 class Runner:
-    """Caches per-benchmark runs; the table builders pull from here."""
+    """Caches per-benchmark runs; the table builders pull from here.
 
-    def __init__(self, config=None, progress=None):
+    Every stage is timed into the shared observability registry
+    (``harness.<stage>`` phase timers) and artifact-cache traffic is
+    counted, so ``metrics_snapshot()`` shows where a table's wall-clock
+    time actually went and how much the memoisation saved.
+    """
+
+    def __init__(self, config=None, progress=None, obs=None):
         self.config = config or HarnessConfig()
         self.progress = progress
+        self.obs = obs if obs is not None else Observability()
         self._workloads = {}
         self._native = {}
         self._dbt = {}
@@ -59,6 +67,18 @@ class Runner:
         if self.progress is not None:
             self.progress(message)
 
+    def _stage(self, name, cached):
+        """Count a cache hit/miss and return the stage phase timer."""
+        metrics = self.obs.metrics
+        metrics.counter(
+            "harness.cache_hits" if cached else "harness.cache_misses"
+        ).inc()
+        return metrics.timer("harness.%s" % name)
+
+    def metrics_snapshot(self):
+        """JSON-able snapshot of all harness metrics gathered so far."""
+        return self.obs.snapshot()
+
     # ------------------------------------------------------------------
     # raw artifacts
     # ------------------------------------------------------------------
@@ -66,19 +86,22 @@ class Runner:
     def workload(self, name):
         found = self._workloads.get(name)
         if found is None:
-            found = load_benchmark(name, scale=self.config.scale)
+            with self.obs.metrics.timer("harness.workload"):
+                found = load_benchmark(name, scale=self.config.scale)
             self._workloads[name] = found
         return found
 
     def native(self, name):
         """Native run (the Table 4 baseline)."""
         found = self._native.get(name)
+        timer = self._stage("native", cached=found is not None)
         if found is None:
             self._log("%s: native" % name)
-            found = run_native(
-                self.workload(name).program,
-                max_instructions=self.config.max_instructions,
-            )
+            with timer:
+                found = run_native(
+                    self.workload(name).program,
+                    max_instructions=self.config.max_instructions,
+                )
             self._native[name] = found
         return found
 
@@ -86,6 +109,7 @@ class Runner:
         """StarDBT recording run for one strategy (Tables 1-3 baselines)."""
         key = (name, strategy)
         found = self._dbt.get(key)
+        timer = self._stage("dbt", cached=found is not None)
         if found is None:
             self._log("%s: DBT %s" % (name, strategy))
             runtime = StarDBT(
@@ -95,34 +119,39 @@ class Runner:
                 memory_model=self.config.memory_model,
                 max_instructions=self.config.max_instructions,
             )
-            found = runtime.run()
+            with timer:
+                found = runtime.run()
             self._dbt[key] = found
         return found
 
     def pin_without_tool(self, name):
         """Bare MiniPin run (Table 4 'Without Pintool')."""
         found = self._pin_only.get(name)
+        timer = self._stage("pin_without_tool", cached=found is not None)
         if found is None:
             self._log("%s: pin (no tool)" % name)
-            found = Pin(
-                self.workload(name).program,
-                tool=None,
-                max_instructions=self.config.max_instructions,
-            ).run()
+            with timer:
+                found = Pin(
+                    self.workload(name).program,
+                    tool=None,
+                    max_instructions=self.config.max_instructions,
+                ).run()
             self._pin_only[name] = found
         return found
 
     def replay_empty(self, name):
         """TEA replay with no traces (Table 4 'Empty')."""
         found = self._empty.get(name)
+        timer = self._stage("replay_empty", cached=found is not None)
         if found is None:
             self._log("%s: TEA empty" % name)
             tool = TeaReplayTool(trace_set=None)
-            result = Pin(
-                self.workload(name).program,
-                tool=tool,
-                max_instructions=self.config.max_instructions,
-            ).run()
+            with timer:
+                result = Pin(
+                    self.workload(name).program,
+                    tool=tool,
+                    max_instructions=self.config.max_instructions,
+                ).run()
             found = (result, tool)
             self._empty[name] = found
         return found
@@ -131,17 +160,19 @@ class Runner:
         """TEA replay of the DBT's MRET traces under one configuration."""
         key = (name, config_key)
         found = self._replay.get(key)
+        timer = self._stage("replay", cached=found is not None)
         if found is None:
             self._log("%s: TEA replay %s" % (name, config_key))
             trace_set = self.dbt(name, "mret").trace_set
             tool = TeaReplayTool(
                 trace_set=trace_set, config=REPLAY_CONFIGS[config_key]()
             )
-            result = Pin(
-                self.workload(name).program,
-                tool=tool,
-                max_instructions=self.config.max_instructions,
-            ).run()
+            with timer:
+                result = Pin(
+                    self.workload(name).program,
+                    tool=tool,
+                    max_instructions=self.config.max_instructions,
+                ).run()
             found = (result, tool)
             self._replay[key] = found
         return found
@@ -149,14 +180,16 @@ class Runner:
     def record(self, name):
         """Online TEA recording under MiniPin (Table 3)."""
         found = self._record.get(name)
+        timer = self._stage("record", cached=found is not None)
         if found is None:
             self._log("%s: TEA record" % name)
             tool = TeaRecordTool(strategy="mret", limits=self.config.limits())
-            result = Pin(
-                self.workload(name).program,
-                tool=tool,
-                max_instructions=self.config.max_instructions,
-            ).run()
+            with timer:
+                result = Pin(
+                    self.workload(name).program,
+                    tool=tool,
+                    max_instructions=self.config.max_instructions,
+                ).run()
             found = (result, tool)
             self._record[name] = found
         return found

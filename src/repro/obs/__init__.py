@@ -1,0 +1,36 @@
+"""``repro.obs`` — the observability subsystem.
+
+Every engine in this reproduction (the interpreter, MiniPin, the TEA
+replayer, the online recorder, the harness) can be handed one
+:class:`Observability` object and will report into it:
+
+- **structured counters and gauges** (:class:`MetricsRegistry`) with
+  dotted names (``replay.blocks``, ``pin.translated_blocks``, ...);
+- **monotonic per-phase timers** (:class:`PhaseTimer`) measuring
+  wall-clock time spent in named phases (``exec.run``, ``harness.dbt``);
+- a **ring-buffer event tracer** (:class:`EventTracer`) with bounded
+  memory for rare, structured events (trace commits, batch flushes);
+- **JSON snapshot/export** (:func:`snapshot_to_json`,
+  :meth:`Observability.dump`) so any run's internals can be diffed,
+  archived, or fed to external tooling.
+
+The replayer's :class:`~repro.core.replay.ReplayStats` is a thin
+attribute facade over this registry, so all pre-existing code keeps
+reading ``stats.blocks`` while ``repro tools metrics`` and the harness
+read one consistent store.  See ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, PhaseTimer
+from repro.obs.tracer import EventTracer, TraceEvent
+from repro.obs.export import Observability, snapshot_to_json
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "EventTracer",
+    "TraceEvent",
+    "Observability",
+    "snapshot_to_json",
+]

@@ -1,0 +1,83 @@
+"""The :class:`Observability` façade and JSON snapshot/export.
+
+One ``Observability`` object bundles the metrics registry with an
+optional tracer; engines accept it as an ``obs=`` keyword and report
+into it.  Snapshots are plain dicts (JSON-able end to end) so they can
+be printed, diffed across runs, or written next to benchmark artifacts.
+"""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import EventTracer
+
+#: Snapshot schema version, bumped on incompatible layout changes.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_to_json(snapshot, indent=2):
+    """Serialise a snapshot dict to JSON text (sorted keys, stable)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True, default=str)
+
+
+class Observability:
+    """Metrics registry + optional bounded event tracer.
+
+    Parameters
+    ----------
+    metrics:
+        An existing :class:`MetricsRegistry` to share; a fresh one is
+        created otherwise.
+    tracer:
+        An existing :class:`EventTracer`, or ``None`` for no tracing.
+    trace_capacity:
+        Convenience: when > 0 and no ``tracer`` is given, create a
+        tracer with that ring capacity.
+    """
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics=None, tracer=None, trace_capacity=0):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None and trace_capacity > 0:
+            tracer = EventTracer(trace_capacity)
+        self.tracer = tracer
+
+    # -- convenience passthroughs -------------------------------------
+
+    def counter(self, name):
+        return self.metrics.counter(name)
+
+    def gauge(self, name):
+        return self.metrics.gauge(name)
+
+    def timer(self, name):
+        return self.metrics.timer(name)
+
+    def emit(self, category, **payload):
+        """Trace one event; a no-op when no tracer is attached."""
+        if self.tracer is not None:
+            self.tracer.emit(category, **payload)
+
+    # -- export -------------------------------------------------------
+
+    def snapshot(self):
+        """One JSON-able dict over everything this object observed."""
+        snap = {"version": SNAPSHOT_VERSION, "metrics": self.metrics.snapshot()}
+        if self.tracer is not None:
+            snap["trace"] = self.tracer.snapshot()
+        return snap
+
+    def to_json(self, indent=2):
+        return snapshot_to_json(self.snapshot(), indent=indent)
+
+    def dump(self, path, indent=2):
+        """Write the snapshot as JSON to ``path``; returns the snapshot."""
+        snap = self.snapshot()
+        with open(path, "w") as handle:
+            handle.write(snapshot_to_json(snap, indent=indent))
+            handle.write("\n")
+        return snap
+
+    def __repr__(self):
+        return "<Observability %r tracer=%r>" % (self.metrics, self.tracer)

@@ -1,0 +1,179 @@
+"""Structured counters, gauges and monotonic per-phase timers.
+
+The registry is deliberately tiny: metric objects are plain
+``__slots__`` holders that hot paths mutate directly (``counter.value
++= n`` is one attribute store), and the registry itself is only touched
+at creation and snapshot time.  Engines that batch work (the batched
+replay loop) accumulate into locals and flush into these objects at
+batch boundaries.
+
+Names are dotted strings (``replay.blocks``, ``harness.dbt``); the
+snapshot groups metrics by kind, not by prefix, so consumers can apply
+their own namespace conventions.
+"""
+
+import time
+
+
+class Counter:
+    """A monotonically growing event count.
+
+    ``value`` is public on purpose: the replayer's batch loop adds to it
+    directly, and :class:`~repro.core.replay.ReplayStats` exposes it
+    through attribute properties.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def __repr__(self):
+        return "<Counter %s=%s>" % (self.name, self.value)
+
+
+class Gauge:
+    """A last-value-wins measurement (sizes, heights, ratios)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "<Gauge %s=%s>" % (self.name, self.value)
+
+
+class PhaseTimer:
+    """Accumulates monotonic wall-clock time spent in one named phase.
+
+    Usable as a context manager (re-entrant starts are rejected so
+    nested misuse fails loudly instead of double-counting)::
+
+        with registry.timer("harness.dbt"):
+            ...  # the phase
+    """
+
+    __slots__ = ("name", "elapsed", "count", "_started")
+
+    def __init__(self, name):
+        self.name = name
+        self.elapsed = 0.0
+        self.count = 0
+        self._started = None
+
+    def start(self):
+        if self._started is not None:
+            raise RuntimeError("timer %r already running" % self.name)
+        self._started = time.perf_counter()
+
+    def stop(self):
+        if self._started is None:
+            raise RuntimeError("timer %r is not running" % self.name)
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        self.count += 1
+
+    @property
+    def running(self):
+        return self._started is not None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    def __repr__(self):
+        return "<PhaseTimer %s %.6fs x%d>" % (self.name, self.elapsed, self.count)
+
+
+class MetricsRegistry:
+    """One consistent store for counters, gauges and phase timers.
+
+    ``counter`` / ``gauge`` / ``timer`` create on first use and return
+    the same object thereafter, so independently wired components that
+    agree on a name share a metric.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_timers")
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._timers = {}
+
+    # -- creation / access --------------------------------------------
+
+    def counter(self, name):
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name):
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def timer(self, name):
+        found = self._timers.get(name)
+        if found is None:
+            found = self._timers[name] = PhaseTimer(name)
+        return found
+
+    def set_gauge(self, name, value):
+        self.gauge(name).set(value)
+
+    # -- introspection ------------------------------------------------
+
+    def counters(self):
+        """Name -> value mapping for all counters (sorted by name)."""
+        return {name: self._counters[name].value
+                for name in sorted(self._counters)}
+
+    def snapshot(self):
+        """JSON-able dict of everything the registry holds."""
+        return {
+            "counters": self.counters(),
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "timers": {
+                name: {
+                    "seconds": self._timers[name].elapsed,
+                    "count": self._timers[name].count,
+                }
+                for name in sorted(self._timers)
+            },
+        }
+
+    def reset(self):
+        """Zero every metric (timers must not be running)."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = None
+        for timer in self._timers.values():
+            if timer.running:
+                raise RuntimeError("cannot reset running timer %r" % timer.name)
+            timer.elapsed = 0.0
+            timer.count = 0
+
+    def __len__(self):
+        return len(self._counters) + len(self._gauges) + len(self._timers)
+
+    def __repr__(self):
+        return "<MetricsRegistry %d counters, %d gauges, %d timers>" % (
+            len(self._counters), len(self._gauges), len(self._timers),
+        )

@@ -1,0 +1,82 @@
+"""A bounded ring-buffer event tracer.
+
+For rare, structured events — trace commits, replay batch flushes,
+harness stage completions — where a counter is too coarse but an
+unbounded log would defeat the "low overhead" point.  The buffer keeps
+the most recent ``capacity`` events; older ones are overwritten and
+counted in ``dropped``.
+"""
+
+
+class TraceEvent:
+    """One traced event: a global sequence number, a category, a payload."""
+
+    __slots__ = ("seq", "category", "payload")
+
+    def __init__(self, seq, category, payload):
+        self.seq = seq
+        self.category = category
+        self.payload = payload
+
+    def to_dict(self):
+        return {"seq": self.seq, "category": self.category,
+                "payload": self.payload}
+
+    def __repr__(self):
+        return "<TraceEvent #%d %s %r>" % (self.seq, self.category, self.payload)
+
+
+class EventTracer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent` objects."""
+
+    def __init__(self, capacity=256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring = [None] * capacity
+        self._emitted = 0
+
+    def emit(self, category, **payload):
+        """Record one event; overwrites the oldest when full."""
+        event = TraceEvent(self._emitted, category, payload)
+        self._ring[self._emitted % self.capacity] = event
+        self._emitted += 1
+        return event
+
+    @property
+    def emitted(self):
+        """Total events ever emitted (including overwritten ones)."""
+        return self._emitted
+
+    @property
+    def dropped(self):
+        """Events lost to ring overwrites."""
+        return max(0, self._emitted - self.capacity)
+
+    def events(self):
+        """The retained events, oldest first."""
+        if self._emitted <= self.capacity:
+            return [event for event in self._ring[:self._emitted]]
+        start = self._emitted % self.capacity
+        return self._ring[start:] + self._ring[:start]
+
+    def clear(self):
+        self._ring = [None] * self.capacity
+        self._emitted = 0
+
+    def snapshot(self):
+        """JSON-able dict: capacity, totals, and the retained events."""
+        return {
+            "capacity": self.capacity,
+            "emitted": self._emitted,
+            "dropped": self.dropped,
+            "events": [event.to_dict() for event in self.events()],
+        }
+
+    def __len__(self):
+        return min(self._emitted, self.capacity)
+
+    def __repr__(self):
+        return "<EventTracer %d/%d events (%d dropped)>" % (
+            len(self), self.capacity, self.dropped,
+        )

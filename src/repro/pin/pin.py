@@ -62,19 +62,41 @@ class PinResult:
 
 
 class Pin:
-    """The engine: one instance per program run."""
+    """The engine: one instance per program run.
+
+    ``obs`` (optional :class:`~repro.obs.Observability`) is shared with
+    the executor and exposed to the attached pintool, so one registry
+    holds the whole stack's metrics; engine totals are flushed into
+    ``pin.*`` counters at the end of the run.
+    """
 
     def __init__(self, program, tool=None, cost_params=None,
-                 max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+                 max_instructions=DEFAULT_MAX_INSTRUCTIONS, obs=None):
         self.program = program
         self.tool = tool
         self.cost = CostModel(cost_params or CostParameters())
         self.block_index = BlockIndex(program)
         self.max_instructions = max_instructions
+        self.obs = obs
         self._seen_block_ends = set()
 
     def run(self):
         """Execute under instrumentation; returns :class:`PinResult`."""
+        obs = self.obs
+        if obs is None:
+            return self._run()
+        with obs.metrics.timer("pin.run"):
+            result = self._run()
+        metrics = obs.metrics
+        metrics.counter("pin.runs").inc()
+        metrics.counter("pin.blocks").inc(result.blocks)
+        metrics.counter("pin.translated_blocks").inc(
+            len(self._seen_block_ends))
+        metrics.counter("pin.instructions_dbt").inc(result.instrs_dbt)
+        metrics.counter("pin.instructions_pin").inc(result.instrs_pin)
+        return result
+
+    def _run(self):
         cost = self.cost
         params = cost.params
         tool = self.tool
@@ -84,9 +106,11 @@ class Pin:
         builder = DynamicBlockBuilder(
             self.block_index, self.program.entry, flavor=FLAVOR_STARDBT
         )
-        executor = Executor(self.program, max_instructions=self.max_instructions)
+        executor = Executor(self.program, max_instructions=self.max_instructions,
+                            obs=self.obs)
         consumed = [0, 0]
         pin_blocks = [0]
+        indirects = [0]
         seen_ends = self._seen_block_ends
         deliver = tool.on_transition if tool is not None else None
 
@@ -104,6 +128,7 @@ class Pin:
                     params.PIN_TRANSLATION_PER_INSTR * event.instrs_dbt,
                 )
             if event.kind in _INDIRECT_KINDS:
+                indirects[0] += 1
                 cost.charge("pin_indirect", params.PIN_INDIRECT_EXTRA)
             cost.charge_instructions(event.instrs_pin)
             transition = builder.feed(event)
@@ -119,6 +144,8 @@ class Pin:
             deliver(final)
         if tool is not None:
             tool.on_finish()
+        if self.obs is not None:
+            self.obs.metrics.counter("pin.indirect_edges").inc(indirects[0])
         return PinResult(
             cost,
             result.instrs_dbt,

@@ -35,25 +35,52 @@ class TeaReplayTool(Pintool):
     link_traces:
         Materialise statically known trace-to-trace transitions in the
         automaton (ablation; the paper resolves them dynamically).
+    obs:
+        Optional :class:`~repro.obs.Observability` for the replayer's
+        metrics; when omitted, the engine's own (``Pin(obs=...)``) is
+        used so the whole run reports into one registry.
+    batch_size:
+        When set (> 0), transitions are buffered and fed to the batched
+        :meth:`~repro.core.replay.TeaReplayer.run` engine in chunks of
+        this size instead of per-call :meth:`step` — same accounting,
+        lower interpreter overhead.  ``None`` (default) keeps exact
+        per-call behaviour (bit-identical float charge ordering).
     """
 
     def __init__(self, trace_set=None, config=None, profile=None,
-                 link_traces=False):
+                 link_traces=False, obs=None, batch_size=None):
         super().__init__()
         self.trace_set = trace_set if trace_set is not None else TraceSet()
         self.config = config or ReplayConfig.global_local()
         self.profile = profile
+        self.obs = obs
+        self.batch_size = batch_size if batch_size and batch_size > 0 else None
+        self._buffer = []
         self.tea = build_tea(self.trace_set, link_traces=link_traces)
         self.replayer = None
 
     def attach(self, pin):
         super().attach(pin)
+        obs = self.obs if self.obs is not None else pin.obs
         self.replayer = TeaReplayer(
-            self.tea, config=self.config, cost=pin.cost, profile=self.profile
+            self.tea, config=self.config, cost=pin.cost, profile=self.profile,
+            obs=obs,
         )
 
     def on_transition(self, transition):
-        self.replayer.step(transition)
+        if self.batch_size is None:
+            self.replayer.step(transition)
+            return
+        buffer = self._buffer
+        buffer.append(transition)
+        if len(buffer) >= self.batch_size:
+            self.replayer.run(buffer)
+            buffer.clear()
+
+    def on_finish(self):
+        if self._buffer:
+            self.replayer.run(self._buffer)
+            self._buffer.clear()
 
     @property
     def stats(self):
@@ -64,26 +91,32 @@ class TeaReplayTool(Pintool):
         """Covered instruction fraction under Pin counting (Section 4.1)."""
         return self.replayer.stats.coverage(pin_counting=True)
 
+    def snapshot(self):
+        """The replayer's observability snapshot (see TeaReplayer)."""
+        return self.replayer.snapshot()
+
 
 class TeaRecordTool(Pintool):
     """Record traces online (Algorithm 2) and grow the TEA as they finish."""
 
     def __init__(self, strategy="mret", limits=None, config=None,
-                 profile=None, recorder_kwargs=None):
+                 profile=None, recorder_kwargs=None, obs=None):
         super().__init__()
         kwargs = dict(recorder_kwargs or {})
         kwargs["limits"] = limits
         self.recorder = make_recorder(strategy, **kwargs)
         self.config = config or ReplayConfig.global_local()
         self.profile = profile
+        self.obs = obs
         self.online = None
         self.trace_set = None
 
     def attach(self, pin):
         super().attach(pin)
+        obs = self.obs if self.obs is not None else pin.obs
         self.online = OnlineTeaRecorder(
             self.recorder, config=self.config, cost=pin.cost,
-            profile=self.profile,
+            profile=self.profile, obs=obs,
         )
 
     def on_transition(self, transition):
@@ -103,3 +136,7 @@ class TeaRecordTool(Pintool):
     @property
     def coverage(self):
         return self.online.stats.coverage(pin_counting=True)
+
+    def snapshot(self):
+        """The online recorder's observability snapshot."""
+        return self.online.snapshot()

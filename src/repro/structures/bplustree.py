@@ -18,6 +18,10 @@ import bisect
 
 DEFAULT_ORDER = 16
 
+#: Internal miss sentinel: lets one root-to-leaf descent distinguish "key
+#: absent" from "key present with a stored ``None`` value".
+_MISS = object()
+
 
 class _Node:
     __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
@@ -48,13 +52,7 @@ class BPlusTree:
         return self._size
 
     def __contains__(self, key):
-        value, _ = self.search(key)
-        return value is not None or self._leaf_has(key)
-
-    def _leaf_has(self, key):
-        leaf = self._descend(key)[-1]
-        position = bisect.bisect_left(leaf.keys, key)
-        return position < len(leaf.keys) and leaf.keys[position] == key
+        return self._search(key)[0] is not _MISS
 
     # ------------------------------------------------------------------
     # search
@@ -70,12 +68,8 @@ class BPlusTree:
             path.append(node)
         return path
 
-    def search(self, key):
-        """Return ``(value, nodes_visited)``; value is None on a miss.
-
-        ``nodes_visited`` counts every node touched during the descent —
-        the cost-model unit for a global-directory probe.
-        """
+    def _search(self, key):
+        """One descent; returns ``(value_or__MISS, nodes_visited)``."""
         node = self._root
         visited = 1
         while not node.is_leaf:
@@ -85,11 +79,22 @@ class BPlusTree:
         position = bisect.bisect_left(node.keys, key)
         if position < len(node.keys) and node.keys[position] == key:
             return node.values[position], visited
-        return None, visited
+        return _MISS, visited
+
+    def search(self, key):
+        """Return ``(value, nodes_visited)``; value is None on a miss.
+
+        ``nodes_visited`` counts every node touched during the descent —
+        the cost-model unit for a global-directory probe.  A stored
+        ``None`` is indistinguishable from a miss here; use :meth:`get`
+        with a sentinel default or ``in`` when that matters.
+        """
+        value, visited = self._search(key)
+        return (None, visited) if value is _MISS else (value, visited)
 
     def get(self, key, default=None):
-        value, _ = self.search(key)
-        return default if value is None and not self._leaf_has(key) else value
+        value, _ = self._search(key)
+        return default if value is _MISS else value
 
     # ------------------------------------------------------------------
     # insertion

@@ -9,11 +9,32 @@ global directory probe.  Two geometries are provided — the ablation bench
   (``collections.OrderedDict`` based).
 - :class:`DirectMappedCache`: a fixed array indexed by a key hash, one
   entry per set — closest to what an inlined code stub would implement.
+
+Both caches share a ``probe``/``lookup`` pair: ``probe`` returns the
+:data:`MISS` sentinel on a failed probe so a stored ``None`` value is
+unambiguous (the replayer's trace-exit path relies on this to charge
+``CACHE_MISS`` only on actual misses); ``lookup`` keeps the old
+``None``-on-miss convenience API.
 """
 
 from collections import OrderedDict
 
-_MISS = object()
+
+class _Miss:
+    """Singleton sentinel distinguishing a failed probe from stored None."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<cache MISS>"
+
+    def __bool__(self):
+        return False
+
+
+#: Returned by ``probe`` when the key is absent.  Falsy and private to
+#: probing: never stored as a value.
+MISS = _Miss()
 
 
 class LRUCache:
@@ -29,16 +50,25 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, key):
-        """Return the cached value or ``None``; updates recency and stats."""
+    def probe(self, key):
+        """Return the cached value, or :data:`MISS` when absent."""
         entries = self._entries
-        value = entries.get(key, _MISS)
-        if value is _MISS:
+        value = entries.get(key, MISS)
+        if value is MISS:
             self.misses += 1
-            return None
+            return MISS
         entries.move_to_end(key)
         self.hits += 1
         return value
+
+    def lookup(self, key):
+        """Return the cached value or ``None``; updates recency and stats.
+
+        Ambiguous for stored ``None`` values — use :meth:`probe` when
+        that distinction matters.
+        """
+        value = self.probe(key)
+        return None if value is MISS else value
 
     def insert(self, key, value):
         entries = self._entries
@@ -75,13 +105,19 @@ class DirectMappedCache:
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, key):
+    def probe(self, key):
+        """Return the cached value, or :data:`MISS` when absent."""
         index = key % self.slots
         if self._keys[index] == key:
             self.hits += 1
             return self._values[index]
         self.misses += 1
-        return None
+        return MISS
+
+    def lookup(self, key):
+        """``None``-on-miss convenience; see :meth:`LRUCache.lookup`."""
+        value = self.probe(key)
+        return None if value is MISS else value
 
     def insert(self, key, value):
         index = key % self.slots

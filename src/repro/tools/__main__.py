@@ -8,6 +8,9 @@ Examples::
     python -m repro.tools replay --source program.s --traces t.json \\
         --config no_global_local --profile
     python -m repro.tools info --traces traces.json
+    python -m repro.tools metrics --benchmark 176.gcc --traces traces.json
+    python -m repro.tools metrics --source program.s --format text \\
+        --events 64 --out metrics.json
 """
 
 import argparse
@@ -18,7 +21,9 @@ from repro.cfg.basic_block import BlockIndex
 from repro.core import MemoryModel, ReplayConfig, TeaProfile
 from repro.dbt import StarDBT
 from repro.errors import ReproError
+from repro.harness.reporting import render_metrics
 from repro.isa import assemble
+from repro.obs import Observability, snapshot_to_json
 from repro.pin import Pin, TeaReplayTool, run_native
 from repro.traces import STRATEGIES, load_trace_set, save_trace_set
 from repro.traces.recorder import RecorderLimits
@@ -104,6 +109,33 @@ def _cmd_replay(args):
     return 0
 
 
+def _cmd_metrics(args):
+    """Replay with full observability on; dump the metrics snapshot."""
+    program = _load_program(args)
+    if args.traces:
+        trace_set = load_trace_set(args.traces, BlockIndex(program))
+    else:
+        # No trace file given: record MRET traces in-process first so
+        # the command is self-contained.
+        limits = RecorderLimits(hot_threshold=args.threshold)
+        trace_set = StarDBT(program, strategy="mret", limits=limits).run().trace_set
+    obs = Observability(trace_capacity=args.events)
+    tool = TeaReplayTool(trace_set=trace_set, config=CONFIGS[args.config](),
+                         batch_size=args.batch or None)
+    Pin(program, tool=tool, obs=obs).run()
+    snapshot = tool.snapshot()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(snapshot_to_json(snapshot))
+            handle.write("\n")
+        print("metrics written to %s" % args.out)
+    if args.format == "text":
+        print(render_metrics(snapshot))
+    elif not args.out:
+        print(snapshot_to_json(snapshot))
+    return 0
+
+
 def _cmd_info(args):
     with open(args.traces) as handle:
         document = json.load(handle)
@@ -153,12 +185,36 @@ def main(argv=None):
     info.add_argument("--traces", required=True)
     info.add_argument("--top", type=int, default=10)
 
+    metrics = commands.add_parser(
+        "metrics",
+        help="replay with observability on and dump the metrics snapshot "
+             "(see docs/observability.md)",
+    )
+    _add_program_arguments(metrics)
+    metrics.add_argument("--traces",
+                         help="trace file to replay (default: record MRET "
+                              "traces in-process first)")
+    metrics.add_argument("--config", choices=sorted(CONFIGS),
+                         default="global_local")
+    metrics.add_argument("--threshold", type=int, default=30,
+                         help="hot threshold for in-process recording")
+    metrics.add_argument("--events", type=int, default=128,
+                         help="event-tracer ring capacity (default 128)")
+    metrics.add_argument("--batch", type=int, default=0,
+                         help="feed the replayer in batches of N "
+                              "transitions (0 = per-call step)")
+    metrics.add_argument("--format", choices=("json", "text"),
+                         default="json")
+    metrics.add_argument("--out", help="write the JSON snapshot here")
+
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     try:
         if args.command == "record":
             return _cmd_record(args)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         return _cmd_info(args)
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print("error: %s" % error, file=sys.stderr)

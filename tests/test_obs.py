@@ -1,0 +1,204 @@
+"""Observability subsystem tests: metrics, tracer, export, engine wiring."""
+
+import json
+
+import pytest
+
+from repro.cpu import Executor
+from repro.harness import HarnessConfig, Runner, render_metrics
+from repro.obs import (
+    Counter,
+    EventTracer,
+    Gauge,
+    MetricsRegistry,
+    Observability,
+    PhaseTimer,
+    snapshot_to_json,
+)
+from repro.obs.export import SNAPSHOT_VERSION
+from repro.pin import Pin, TeaReplayTool
+
+
+# ---------------------------------------------------------------------
+# Counters, gauges, timers
+# ---------------------------------------------------------------------
+
+def test_counter_inc():
+    counter = Counter("c")
+    assert counter.value == 0
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_gauge_set():
+    gauge = Gauge("g")
+    assert gauge.value is None
+    gauge.set(3.5)
+    assert gauge.value == 3.5
+    gauge.set("label")
+    assert gauge.value == "label"
+
+
+def test_phase_timer_accumulates():
+    timer = PhaseTimer("t")
+    with timer:
+        pass
+    with timer:
+        pass
+    assert timer.count == 2
+    assert timer.elapsed >= 0.0
+    assert not timer.running
+
+
+def test_phase_timer_misuse_raises():
+    timer = PhaseTimer("t")
+    with pytest.raises(RuntimeError):
+        timer.stop()
+    timer.start()
+    assert timer.running
+    with pytest.raises(RuntimeError):
+        timer.start()
+    timer.stop()
+
+
+def test_registry_create_on_first_use():
+    registry = MetricsRegistry()
+    counter = registry.counter("replay.blocks")
+    assert registry.counter("replay.blocks") is counter
+    counter.inc(7)
+    registry.set_gauge("config", "Global / Local")
+    with registry.timer("phase"):
+        pass
+    snap = registry.snapshot()
+    assert snap["counters"] == {"replay.blocks": 7}
+    assert snap["gauges"] == {"config": "Global / Local"}
+    assert snap["timers"]["phase"]["count"] == 1
+    assert snap["timers"]["phase"]["seconds"] >= 0.0
+
+
+def test_registry_snapshot_sorted_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc()
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    registry.reset()
+    assert registry.snapshot()["counters"] == {"a": 0, "b": 0}
+
+
+# ---------------------------------------------------------------------
+# Event tracer ring
+# ---------------------------------------------------------------------
+
+def test_tracer_bounded_ring_keeps_newest():
+    tracer = EventTracer(capacity=4)
+    for i in range(10):
+        tracer.emit("tick", i=i)
+    assert tracer.emitted == 10
+    assert tracer.dropped == 6
+    events = tracer.events()
+    assert len(events) == 4
+    # Oldest-first order across the wraparound point.
+    assert [event.payload["i"] for event in events] == [6, 7, 8, 9]
+    assert [event.seq for event in events] == [6, 7, 8, 9]
+
+
+def test_tracer_under_capacity_and_clear():
+    tracer = EventTracer(capacity=8)
+    tracer.emit("a")
+    tracer.emit("b")
+    assert [event.category for event in tracer.events()] == ["a", "b"]
+    assert tracer.dropped == 0
+    tracer.clear()
+    assert tracer.emitted == 0
+    assert tracer.events() == []
+
+
+def test_tracer_snapshot_round_trips_to_json():
+    tracer = EventTracer(capacity=2)
+    tracer.emit("replay.batch", blocks=512)
+    snap = tracer.snapshot()
+    parsed = json.loads(json.dumps(snap))
+    assert parsed["events"][0]["category"] == "replay.batch"
+    assert parsed["events"][0]["payload"]["blocks"] == 512
+
+
+# ---------------------------------------------------------------------
+# Observability façade + export
+# ---------------------------------------------------------------------
+
+def test_observability_without_tracer_emit_is_noop():
+    obs = Observability()
+    obs.emit("anything", x=1)  # must not raise
+    snap = obs.snapshot()
+    assert snap["version"] == SNAPSHOT_VERSION
+    assert "trace" not in snap
+
+
+def test_observability_snapshot_and_dump(tmp_path):
+    obs = Observability(trace_capacity=4)
+    obs.counter("n").inc(3)
+    obs.emit("evt", k="v")
+    snap = obs.snapshot()
+    assert snap["metrics"]["counters"]["n"] == 3
+    assert snap["trace"]["events"][0]["payload"]["k"] == "v"
+    path = tmp_path / "metrics.json"
+    obs.dump(str(path))
+    assert json.loads(path.read_text())["version"] == SNAPSHOT_VERSION
+
+
+def test_snapshot_to_json_stringifies_odd_values():
+    parsed = json.loads(snapshot_to_json({"odd": {"frozen"}}))
+    assert "frozen" in parsed["odd"]
+
+
+# ---------------------------------------------------------------------
+# Engine wiring: Executor, Pin, replayer, harness
+# ---------------------------------------------------------------------
+
+def test_executor_reports_into_registry(simple_loop_program):
+    obs = Observability()
+    Executor(simple_loop_program, obs=obs).run()
+    snap = obs.metrics.snapshot()
+    assert snap["counters"]["exec.runs"] == 1
+    assert snap["counters"]["exec.instructions_dbt"] > 0
+    assert snap["timers"]["exec.run"]["count"] == 1
+
+
+def test_pin_replay_reports_into_one_registry(nested_program, nested_traces):
+    obs = Observability(trace_capacity=32)
+    tool = TeaReplayTool(trace_set=nested_traces)
+    Pin(nested_program, tool=tool, obs=obs).run()
+    snap = tool.snapshot()
+    counters = snap["metrics"]["counters"]
+    # Pin, executor and replayer all share the same registry.
+    assert counters["pin.runs"] == 1
+    assert counters["exec.runs"] == 1
+    assert counters["replay.blocks"] == counters["pin.blocks"]
+    assert counters["replay.blocks"] == tool.stats.blocks
+    assert snap["cost"]["cycles"] > 0
+    gauges = snap["metrics"]["gauges"]
+    assert gauges["replay.config"] == "Global / Local"
+    assert gauges["replay.directory.kind"] == "bptree"
+
+
+def test_harness_runner_metrics():
+    runner = Runner(config=HarnessConfig(scale=0.2, benchmarks=["181.mcf"]))
+    runner.replay("181.mcf", "global_local")
+    runner.replay("181.mcf", "global_local")  # second call hits the cache
+    snap = runner.metrics_snapshot()
+    counters = snap["metrics"]["counters"]
+    assert counters["harness.cache_hits"] >= 1
+    assert counters["harness.cache_misses"] >= 1
+    assert snap["metrics"]["timers"]["harness.replay"]["count"] >= 1
+
+
+def test_render_metrics_text(nested_program, nested_traces):
+    obs = Observability(trace_capacity=8)
+    tool = TeaReplayTool(trace_set=nested_traces)
+    Pin(nested_program, tool=tool, obs=obs).run()
+    text = render_metrics(tool.snapshot())
+    assert "replay.blocks" in text
+    assert "cost:" in text and "cycles" in text
+    assert "trace ring" in text

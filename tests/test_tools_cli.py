@@ -1,5 +1,7 @@
 """record / replay / info CLI tests."""
 
+import json
+
 import pytest
 
 from repro.tools.__main__ import main
@@ -101,3 +103,36 @@ def test_bad_source_is_clean_error(tmp_path, capsys):
     code = main(["record", "--source", str(bad), "--out", str(out)])
     assert code == 1
     assert "unknown opcode" in capsys.readouterr().err
+
+
+def test_metrics_json_to_stdout(source_file, trace_file, capsys):
+    code = main(["metrics", "--source", source_file, "--traces", trace_file])
+    assert code == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["version"] == 1
+    counters = snapshot["metrics"]["counters"]
+    assert counters["replay.blocks"] == counters["pin.blocks"]
+    assert snapshot["metrics"]["gauges"]["replay.config"] == "Global / Local"
+    assert snapshot["cost"]["cycles"] > 0
+
+
+def test_metrics_records_in_process_when_no_traces(source_file, capsys):
+    code = main(["metrics", "--source", source_file, "--threshold", "10",
+                 "--format", "text"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "replay.blocks" in output
+    assert "trace ring" in output
+
+
+def test_metrics_batched_writes_file(source_file, trace_file, tmp_path,
+                                     capsys):
+    out = tmp_path / "metrics.json"
+    code = main(["metrics", "--source", source_file, "--traces", trace_file,
+                 "--batch", "32", "--events", "16", "--out", str(out)])
+    assert code == 0
+    assert "metrics written" in capsys.readouterr().out
+    snapshot = json.loads(out.read_text())
+    batches = [event for event in snapshot["trace"]["events"]
+               if event["category"] == "replay.batch"]
+    assert batches, "batched replay should emit replay.batch events"
