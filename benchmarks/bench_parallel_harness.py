@@ -1,0 +1,107 @@
+"""Smoke benchmark: serial vs sharded-parallel harness, cold vs warm cache.
+
+Drives the same table pipeline three ways over an identical benchmark
+subset and asserts the contracts the parallel harness ships with:
+
+- **equivalence** — the summary report rendered from a parallel run is
+  byte-identical to the serial run's (same floats, same formatting);
+- **cache effectiveness** — a warm rerun performs zero fresh stage
+  executions (``harness.stage_runs == 0``), i.e. 100 % of stages are
+  served from the persistent cache (the acceptance bar is >= 90 %);
+- **wall-clock** — reports serial, parallel and warm timings so CI logs
+  double as a coarse regression record (no hard speedup gate: the
+  2-4 benchmark smoke subset is too small for stable multiprocessing
+  wins on shared runners).
+
+Modes:
+
+- default: four benchmarks at scale 1.0, ``--jobs``-equivalent of 4;
+- ``REPRO_BENCH_SMOKE=1``: two benchmarks, scale 0.5, two workers —
+  the CI configuration;
+- ``REPRO_BENCH_FULL=1``: the shared 8-benchmark subset at scale 2.0.
+
+Also runnable standalone: ``PYTHONPATH=src python
+benchmarks/bench_parallel_harness.py``.
+"""
+
+import os
+import time
+
+from repro.harness import HarnessConfig, ParallelRunner, ResultCache, Runner
+from repro.harness.runner import STAGES
+from repro.harness.summary import build_summary
+from repro.obs import Observability
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+if SMOKE:
+    BENCHMARKS = ["171.swim", "164.gzip"]
+    SCALE = 0.5
+    JOBS = 2
+elif FULL:
+    BENCHMARKS = ["171.swim", "189.lucas", "164.gzip", "176.gcc",
+                  "253.perlbmk", "255.vortex", "256.bzip2", "300.twolf"]
+    SCALE = 2.0
+    JOBS = 4
+else:
+    BENCHMARKS = ["171.swim", "164.gzip", "181.mcf", "176.gcc"]
+    SCALE = 1.0
+    JOBS = 4
+
+
+def _config():
+    return HarnessConfig(scale=SCALE, hot_threshold=10,
+                         benchmarks=BENCHMARKS)
+
+
+def _timed_report(make_runner):
+    obs = Observability()
+    runner = make_runner(obs)
+    started = time.perf_counter()
+    report = build_summary(runner).render()
+    elapsed = time.perf_counter() - started
+    counters = obs.metrics.snapshot()["counters"]
+    return report, elapsed, counters
+
+
+def test_parallel_harness_smoke(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+
+    serial_report, serial_s, _ = _timed_report(
+        lambda obs: Runner(_config(), obs=obs))
+
+    parallel_report, parallel_s, cold = _timed_report(
+        lambda obs: ParallelRunner(
+            _config(), jobs=JOBS, obs=obs,
+            cache=ResultCache(cache_dir, obs=obs)))
+    assert parallel_report == serial_report
+
+    warm_report, warm_s, warm = _timed_report(
+        lambda obs: ParallelRunner(
+            _config(), jobs=JOBS, obs=obs,
+            cache=ResultCache(cache_dir, obs=obs)))
+    assert warm_report == serial_report
+
+    total_stages = len(STAGES) * len(BENCHMARKS)
+    fresh = warm.get("harness.stage_runs", 0)
+    assert fresh <= 0.1 * total_stages, (
+        "warm rerun re-executed %d of %d stages" % (fresh, total_stages))
+
+    print()
+    print("parallel harness smoke: %d benchmarks x %d stages, %d workers"
+          % (len(BENCHMARKS), len(STAGES), JOBS))
+    print("  serial          %6.2f s" % serial_s)
+    print("  parallel (cold) %6.2f s  (%d fresh stage runs)"
+          % (parallel_s, cold.get("harness.stage_runs", 0)))
+    print("  parallel (warm) %6.2f s  (%d fresh, %d disk hits)"
+          % (warm_s, fresh, warm.get("harness.cache.disk_hits", 0)))
+
+
+if __name__ == "__main__":
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as scratch:
+        test_parallel_harness_smoke(Path(scratch))
+        print("OK")

@@ -6,17 +6,27 @@
   Table 3 (recording), Table 4 (overhead ablation).
 - :mod:`repro.harness.figures` — Figures 1-3 as text/DOT renderings.
 - :mod:`repro.harness.reporting` — table formatting with GeoMean rows.
+- :mod:`repro.harness.parallel` — sharded multiprocessing fan-out that
+  renders byte-identical tables (``--jobs N``).
+- :mod:`repro.harness.cache` — persistent content-addressed stage
+  cache so reruns skip unchanged work (``--cache-dir``/``--no-cache``).
 
 CLI: ``python -m repro.harness table1|table2|table3|table4|figures|all``.
 """
 
+from repro.harness.cache import ResultCache, stage_key
+from repro.harness.parallel import ParallelRunner
 from repro.harness.reporting import Table, render_metrics
-from repro.harness.runner import HarnessConfig, Runner
+from repro.harness.runner import HarnessConfig, Runner, STAGES
 from repro.harness.tables import table1, table2, table3, table4
 
 __all__ = [
     "HarnessConfig",
+    "ParallelRunner",
+    "ResultCache",
     "Runner",
+    "STAGES",
+    "stage_key",
     "Table",
     "render_metrics",
     "table1",

@@ -5,17 +5,27 @@ Examples::
     python -m repro.harness table1
     python -m repro.harness table4 --benchmarks 176.gcc,255.vortex
     python -m repro.harness all --scale 2 --markdown --out results.md
+    python -m repro.harness all --jobs 4            # sharded parallel run
+    python -m repro.harness all --no-cache          # force fresh simulation
     python -m repro.harness figures
+
+Results are cached in ``--cache-dir`` (default ``.repro_cache``) keyed
+by a content hash of the benchmark definition and every harness knob,
+so a rerun only simulates stages whose inputs changed — see
+docs/parallel_harness.md.
 """
 
 import argparse
 import sys
 import time
 
+from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.harness.figures import render_all
+from repro.harness.parallel import ParallelRunner
 from repro.harness.runner import HarnessConfig, Runner
 from repro.harness.summary import build_summary
 from repro.harness.tables import TABLES
+from repro.obs import Observability, snapshot_to_json
 from repro.workloads import BENCHMARKS
 
 
@@ -42,13 +52,53 @@ def _parse_args(argv):
         help="hot threshold for trace selection (default 30)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; > 1 shards benchmarks across a "
+             "multiprocessing pool (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="persistent stage-result cache directory "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the persistent result cache",
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="emit Markdown tables"
     )
     parser.add_argument("--out", help="also write the output to this file")
     parser.add_argument(
+        "--metrics-out",
+        help="write the harness observability snapshot (JSON) here — "
+             "stage timers, stage_runs, cache hit/miss counters",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     return parser.parse_args(argv)
+
+
+def _cache_report(snapshot):
+    """One-line cache/stage traffic summary from an obs snapshot."""
+    counters = snapshot.get("metrics", {}).get("counters", {})
+    return ("stages run %d | memo hits %d | disk hits %d, misses %d, "
+            "writes %d" % (
+                counters.get("harness.stage_runs", 0),
+                counters.get("harness.cache_hits", 0),
+                counters.get("harness.cache.disk_hits", 0),
+                counters.get("harness.cache.disk_misses", 0),
+                counters.get("harness.cache.writes", 0),
+            ))
+
+
+def make_runner(config, jobs=1, cache=None, progress=None, obs=None):
+    """The right runner flavour for ``jobs``, sharing one registry."""
+    if jobs > 1:
+        return ParallelRunner(config, jobs=jobs, cache=cache,
+                              progress=progress, obs=obs)
+    return Runner(config, progress=progress, cache=cache, obs=obs)
 
 
 def main(argv=None):
@@ -69,7 +119,12 @@ def main(argv=None):
     progress = None
     if not args.quiet:
         progress = lambda message: print("  [run] %s" % message, file=sys.stderr)
-    runner = Runner(config, progress=progress)
+    obs = Observability()
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir, obs=obs)
+    runner = make_runner(config, jobs=args.jobs, cache=cache,
+                         progress=progress, obs=obs)
 
     sections = []
     started = time.time()
@@ -95,11 +150,17 @@ def main(argv=None):
 
     output = "\n\n\n".join(sections)
     print(output)
+    snapshot = runner.metrics_snapshot()
     if not args.quiet:
-        print("\n[%.1f s]" % (time.time() - started), file=sys.stderr)
+        print("\n[%.1f s] %s" % (time.time() - started,
+                                 _cache_report(snapshot)), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(output + "\n")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(snapshot_to_json(snapshot))
+            handle.write("\n")
     return 0
 
 

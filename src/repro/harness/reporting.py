@@ -122,6 +122,30 @@ class Table:
                 cells.append(None)
         return cells
 
+    def to_dict(self, include_geomean=True):
+        """JSON-able dump of the raw (unrendered) table content.
+
+        This is what the golden-table regression tests snapshot: raw
+        floats rather than rendered strings, so a formatting tweak and
+        a numeric regression fail as distinguishable diffs.
+        """
+        data = {
+            "title": self.title,
+            "columns": [
+                {
+                    "header": column.header,
+                    "kind": column.kind,
+                    "in_geomean": column.in_geomean,
+                }
+                for column in self.columns
+            ],
+            "rows": [list(row) for row in self.rows],
+            "note": self.note,
+        }
+        if include_geomean and self.rows:
+            data["geomean"] = self.geomean_row()
+        return data
+
     def render(self, include_geomean=True):
         """Plain-text rendering with aligned columns."""
         body = [

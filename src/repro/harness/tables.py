@@ -1,10 +1,18 @@
 """Builders for the paper's four tables.
 
-Each function takes a :class:`~repro.harness.runner.Runner` and returns a
+Each function takes any summary provider (the serial
+:class:`~repro.harness.runner.Runner`, the sharded
+:class:`~repro.harness.parallel.ParallelRunner`, ...) and returns a
 :class:`~repro.harness.reporting.Table` with the same rows/columns the
 paper reports (sizes in KB, coverage percentages, times — here in
 megacycles of the shared cost model — and slowdowns normalised to
 native).  GeoMean footer rows match the paper's.
+
+The builders consume only *stage summaries*
+(:meth:`~repro.harness.runner.SummaryProvider.summary`) — plain dicts
+of floats — never heavy result objects.  That is what makes serial,
+parallel and warm-cache runs render byte-identical tables: every path
+feeds the exact same numbers into the same renderer.
 """
 
 from repro.harness.reporting import Column, Table
@@ -27,13 +35,10 @@ def table1(runner):
             "repro.core.memory_model for the byte accounting)."
         ),
     )
-    model = runner.config.memory_model
     for name in runner.config.benchmarks:
         row = [name]
         for strategy in ("mret", "ctt", "tt"):
-            result = runner.dbt(name, strategy)
-            dbt_kb, tea_kb, savings = model.table1_row(result.trace_set)
-            row.extend([dbt_kb, tea_kb, savings])
+            row.extend(runner.dbt_summary(name, strategy)["table1"])
         table.add_row(row)
     return table
 
@@ -58,14 +63,14 @@ def table2(runner):
         ),
     )
     for name in runner.config.benchmarks:
-        dbt_result = runner.dbt(name, "mret")
-        replay_result, replay_tool = runner.replay(name, "global_local")
+        dbt = runner.dbt_summary(name, "mret")
+        tea = runner.replay_summary(name, "global_local")
         table.add_row([
             name,
-            replay_tool.coverage,
-            replay_result.megacycles,
-            dbt_result.coverage,
-            dbt_result.megacycles,
+            tea["coverage"],
+            tea["megacycles"],
+            dbt["coverage"],
+            dbt["megacycles"],
         ])
     return table
 
@@ -86,14 +91,14 @@ def table3(runner):
         note="Time means recording time for both TEA and DBT.",
     )
     for name in runner.config.benchmarks:
-        dbt_result = runner.dbt(name, "mret")
-        record_result, record_tool = runner.record(name)
+        dbt = runner.dbt_summary(name, "mret")
+        record = runner.record_summary(name)
         table.add_row([
             name,
-            record_tool.coverage,
-            record_result.megacycles,
-            dbt_result.coverage,
-            dbt_result.megacycles,
+            record["coverage"],
+            record["megacycles"],
+            dbt["coverage"],
+            dbt["megacycles"],
         ])
     return table
 
@@ -121,16 +126,16 @@ def table4(runner):
         ),
     )
     for name in runner.config.benchmarks:
-        empty_result, _ = runner.replay_empty(name)
         row = [
             name,
             1.0,
-            runner.slowdown(name, runner.pin_without_tool(name)),
-            runner.slowdown(name, empty_result),
+            runner.slowdown_cycles(name, runner.pin_summary(name)["cycles"]),
+            runner.slowdown_cycles(name, runner.empty_summary(name)["cycles"]),
         ]
         for key in ("no_global_local", "global_no_local", "global_local"):
-            result, _tool = runner.replay(name, key)
-            row.append(runner.slowdown(name, result))
+            row.append(runner.slowdown_cycles(
+                name, runner.replay_summary(name, key)["cycles"]
+            ))
         table.add_row(row)
     return table
 

@@ -158,6 +158,38 @@ class MetricsRegistry:
             },
         }
 
+    def merge(self, other):
+        """Fold another registry (or a snapshot of one) into this one.
+
+        ``other`` may be a :class:`MetricsRegistry`, the dict produced by
+        :meth:`snapshot`, or a full ``Observability`` snapshot (the
+        wrapper dict with a ``"metrics"`` section).  Counter values and
+        timer totals (elapsed seconds and completion counts) add;
+        gauges adopt the other side's value when it is not ``None``
+        (last writer wins, matching :meth:`Gauge.set` semantics).
+
+        This is how the sharded harness folds per-worker registries
+        into the parent's: each worker ships ``snapshot()`` across the
+        process boundary and the parent merges them in completion
+        order.  Merging is commutative for counters and timers, so the
+        completion order does not change the totals.  Returns ``self``
+        so merges chain.
+        """
+        if isinstance(other, MetricsRegistry):
+            other = other.snapshot()
+        elif "metrics" in other and isinstance(other.get("metrics"), dict):
+            other = other["metrics"]
+        for name, value in other.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in other.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).value = value
+        for name, timing in other.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.elapsed += timing["seconds"]
+            timer.count += timing["count"]
+        return self
+
     def reset(self):
         """Zero every metric (timers must not be running)."""
         for counter in self._counters.values():

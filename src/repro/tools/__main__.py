@@ -11,6 +11,8 @@ Examples::
     python -m repro.tools metrics --benchmark 176.gcc --traces traces.json
     python -m repro.tools metrics --source program.s --format text \\
         --events 64 --out metrics.json
+    python -m repro.tools cache
+    python -m repro.tools cache --dir .repro_cache --clear
 """
 
 import argparse
@@ -21,6 +23,7 @@ from repro.cfg.basic_block import BlockIndex
 from repro.core import MemoryModel, ReplayConfig, TeaProfile
 from repro.dbt import StarDBT
 from repro.errors import ReproError
+from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.harness.reporting import render_metrics
 from repro.isa import assemble
 from repro.obs import Observability, snapshot_to_json
@@ -136,6 +139,18 @@ def _cmd_metrics(args):
     return 0
 
 
+def _cmd_cache(args):
+    """Inspect (or clear) the harness's persistent result cache."""
+    cache = ResultCache(args.dir)
+    entries = len(cache)
+    print("cache %s: %d entries, %d bytes"
+          % (args.dir, entries, cache.total_bytes() if entries else 0))
+    if args.clear:
+        removed = cache.clear()
+        print("cleared %d entries" % removed)
+    return 0
+
+
 def _cmd_info(args):
     with open(args.traces) as handle:
         document = json.load(handle)
@@ -207,6 +222,15 @@ def main(argv=None):
                          default="json")
     metrics.add_argument("--out", help="write the JSON snapshot here")
 
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or clear the harness's persistent result cache",
+    )
+    cache.add_argument("--dir", default=DEFAULT_CACHE_DIR,
+                       help="cache directory (default %(default)s)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached stage summary")
+
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     try:
         if args.command == "record":
@@ -215,6 +239,8 @@ def main(argv=None):
             return _cmd_replay(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         return _cmd_info(args)
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print("error: %s" % error, file=sys.stderr)

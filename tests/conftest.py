@@ -58,6 +58,14 @@ helper:
 """
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/*.json from the current code "
+             "instead of comparing against it (see tests/test_golden_tables.py)",
+    )
+
+
 @pytest.fixture
 def nested_program():
     return assemble(NESTED_DIAMOND_SOURCE)

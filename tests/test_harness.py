@@ -168,7 +168,7 @@ def test_render_all_concatenates():
 def test_cli_table1(capsys):
     code = harness_main([
         "table1", "--benchmarks", "181.mcf", "--scale", "0.3",
-        "--threshold", "10", "--quiet",
+        "--threshold", "10", "--quiet", "--no-cache",
     ])
     assert code == 0
     out = capsys.readouterr().out
@@ -180,7 +180,8 @@ def test_cli_markdown_and_out(tmp_path, capsys):
     target = tmp_path / "out.md"
     code = harness_main([
         "table1", "--benchmarks", "181.mcf", "--scale", "0.3",
-        "--threshold", "10", "--quiet", "--markdown", "--out", str(target),
+        "--threshold", "10", "--quiet", "--no-cache",
+        "--markdown", "--out", str(target),
     ])
     assert code == 0
     assert target.read_text().startswith("###")

@@ -194,6 +194,68 @@ def test_harness_runner_metrics():
     assert snap["metrics"]["timers"]["harness.replay"]["count"] >= 1
 
 
+def test_registry_merge_sums_counters_and_timers():
+    left = MetricsRegistry()
+    left.counter("c").inc(3)
+    timer = left.timer("t")
+    timer.elapsed, timer.count = 1.5, 2
+    left.set_gauge("g", "old")
+    right = MetricsRegistry()
+    right.counter("c").inc(4)
+    right.counter("only_right").inc(1)
+    timer = right.timer("t")
+    timer.elapsed, timer.count = 0.5, 1
+    right.set_gauge("g", "new")
+    right.set_gauge("unset", None)
+
+    assert left.merge(right) is left
+    assert left.counter("c").value == 7
+    assert left.counter("only_right").value == 1
+    assert left.timer("t").elapsed == pytest.approx(2.0)
+    assert left.timer("t").count == 3
+    assert left.gauge("g").value == "new"
+    # A None gauge on the other side never clobbers an existing value.
+    left.set_gauge("unset", "kept")
+    left.merge(right)
+    assert left.gauge("unset").value == "kept"
+
+
+def test_registry_merge_accepts_snapshots():
+    source = MetricsRegistry()
+    source.counter("c").inc(2)
+    with source.timer("t"):
+        pass
+
+    from_registry_snapshot = MetricsRegistry()
+    from_registry_snapshot.merge(source.snapshot())
+    assert from_registry_snapshot.counter("c").value == 2
+    assert from_registry_snapshot.timer("t").count == 1
+
+    # A full Observability snapshot (the wrapper with a "metrics"
+    # section) is what workers ship across process boundaries.
+    obs = Observability(metrics=source)
+    from_obs_snapshot = MetricsRegistry()
+    from_obs_snapshot.merge(obs.snapshot())
+    assert from_obs_snapshot.counter("c").value == 2
+
+
+def test_registry_merge_is_order_independent():
+    snapshots = []
+    for value in (1, 10, 100):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(value)
+        timer = registry.timer("t")
+        timer.elapsed, timer.count = float(value), 1
+        snapshots.append(registry.snapshot())
+    forward = MetricsRegistry()
+    backward = MetricsRegistry()
+    for snap in snapshots:
+        forward.merge(snap)
+    for snap in reversed(snapshots):
+        backward.merge(snap)
+    assert forward.snapshot() == backward.snapshot()
+
+
 def test_render_metrics_text(nested_program, nested_traces):
     obs = Observability(trace_capacity=8)
     tool = TeaReplayTool(trace_set=nested_traces)
