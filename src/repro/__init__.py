@@ -41,6 +41,12 @@ from repro.errors import ReproError
 from repro.isa import Program, assemble
 from repro.obs import EventTracer, MetricsRegistry, Observability
 from repro.pin import Pin, Pintool, TeaRecordTool, TeaReplayTool, run_native
+from repro.store import (
+    AutomatonStore,
+    dump_tea_binary,
+    load_tea_binary,
+    save_tea_binary,
+)
 from repro.traces import (
     STRATEGIES,
     TraceSet,
@@ -79,6 +85,11 @@ __all__ = [
     "duplicate_trace",
     "save_tea",
     "load_tea",
+    # snapshot store
+    "AutomatonStore",
+    "dump_tea_binary",
+    "load_tea_binary",
+    "save_tea_binary",
     # engines
     "StarDBT",
     "CodeCache",

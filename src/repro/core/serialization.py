@@ -13,6 +13,7 @@ from repro.core.builder import build_tea
 from repro.core.profile import TeaProfile
 from repro.errors import SerializationError
 from repro.traces.serialization import trace_set_from_json, trace_set_to_json
+from repro.util import atomic_write_json
 
 FORMAT_VERSION = 1
 
@@ -79,8 +80,13 @@ def tea_from_json(document, block_index, link_traces=False):
 
 
 def save_tea(path, trace_set, tea=None, profile=None):
-    with open(path, "w") as handle:
-        json.dump(tea_to_json(trace_set, tea=tea, profile=profile), handle)
+    """Write a TEA document to ``path`` atomically.
+
+    A crash mid-write can never leave a truncated, unloadable file:
+    the document lands in a temp file that is renamed over ``path``
+    only once fully written (:mod:`repro.util.fsio`).
+    """
+    atomic_write_json(path, tea_to_json(trace_set, tea=tea, profile=profile))
 
 
 def load_tea(path, block_index, link_traces=False):

@@ -29,9 +29,9 @@ content-addressed — there is no TTL and no manual invalidation beyond
 ``--no-cache`` / deleting the directory (``repro tools cache --clear``).
 
 Entries are one JSON file per key, sharded by hash prefix, written via
-a temp file + :func:`os.replace` so concurrent writers (parallel
-harness shards, or two harness processes) can never expose a torn
-entry.  A corrupt or unreadable entry is treated as a miss and
+the shared atomic temp-file + :func:`os.replace` helper
+(:mod:`repro.util.fsio`) so concurrent writers (parallel harness
+shards, or two harness processes) can never expose a torn entry.  A corrupt or unreadable entry is treated as a miss and
 overwritten.  Traffic is counted in the shared metrics registry
 (``harness.cache.disk_hits`` / ``disk_misses`` / ``writes``).
 """
@@ -39,11 +39,11 @@ overwritten.  Traffic is counted in the shared metrics registry
 import hashlib
 import json
 import os
-import tempfile
 
 from repro import __version__
 from repro.dbt.cost import CostParameters
 from repro.obs import Observability
+from repro.util import atomic_write_json
 from repro.workloads import get_benchmark
 
 #: Bumped on incompatible changes to the summary schema or key layout.
@@ -141,25 +141,9 @@ class ResultCache:
 
     def put(self, key, value):
         """Persist ``value`` (JSON-able) under ``key`` atomically."""
-        path = self.path_for(key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
         document = {"key": key, "schema": CACHE_SCHEMA_VERSION,
                     "value": value}
-        descriptor, tmp_path = tempfile.mkstemp(
-            prefix=".tmp-", suffix=".json", dir=directory
-        )
-        try:
-            with os.fdopen(descriptor, "w") as handle:
-                json.dump(document, handle, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self.path_for(key), document, sort_keys=True)
         self._writes.inc()
 
     # ------------------------------------------------------------------

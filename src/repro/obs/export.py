@@ -72,11 +72,11 @@ class Observability:
         return snapshot_to_json(self.snapshot(), indent=indent)
 
     def dump(self, path, indent=2):
-        """Write the snapshot as JSON to ``path``; returns the snapshot."""
+        """Write the snapshot as JSON to ``path`` atomically."""
+        from repro.util import atomic_write_text
+
         snap = self.snapshot()
-        with open(path, "w") as handle:
-            handle.write(snapshot_to_json(snap, indent=indent))
-            handle.write("\n")
+        atomic_write_text(path, snapshot_to_json(snap, indent=indent) + "\n")
         return snap
 
     def __repr__(self):

@@ -45,10 +45,15 @@ class TeaReplayTool(Pintool):
         this size instead of per-call :meth:`step` — same accounting,
         lower interpreter overhead.  ``None`` (default) keeps exact
         per-call behaviour (bit-identical float charge ordering).
+    tea:
+        A prebuilt automaton to replay.  When given, Algorithm 1 is
+        *not* re-run — this is how the replay service drives automata
+        loaded from binary store snapshots (``link_traces`` is ignored;
+        the snapshot already fixed the transition tables).
     """
 
     def __init__(self, trace_set=None, config=None, profile=None,
-                 link_traces=False, obs=None, batch_size=None):
+                 link_traces=False, obs=None, batch_size=None, tea=None):
         super().__init__()
         self.trace_set = trace_set if trace_set is not None else TraceSet()
         self.config = config or ReplayConfig.global_local()
@@ -56,7 +61,9 @@ class TeaReplayTool(Pintool):
         self.obs = obs
         self.batch_size = batch_size if batch_size and batch_size > 0 else None
         self._buffer = []
-        self.tea = build_tea(self.trace_set, link_traces=link_traces)
+        self.tea = tea if tea is not None else build_tea(
+            self.trace_set, link_traces=link_traces
+        )
         self.replayer = None
 
     def attach(self, pin):

@@ -1,0 +1,583 @@
+"""The TEA replay service: an asyncio JSON-over-TCP automaton server.
+
+The paper's headline result is cross-system replay — traces recorded in
+one world (StarDBT) driving execution observation in another (Pin).
+This server is the "many futures" version of that hand-off: it preloads
+binary automaton snapshots from an :class:`~repro.store.AutomatonStore`
+once, then serves replay, coverage, automaton-walk and introspection
+requests to any number of concurrent clients, none of which ever
+re-runs Algorithm 1.
+
+Concurrency model
+-----------------
+- one asyncio task per connection reads frames and spawns one task per
+  request, so a single connection can pipeline requests (responses are
+  matched by ``id``, written under a per-connection lock);
+- CPU-bound replays run in a configurable thread worker pool via
+  ``run_in_executor``; the preloaded program image, trace set and TEA
+  are shared read-only across workers (each replay builds its own
+  directory, local caches and stats);
+- every request is bounded by ``request_timeout`` and every frame by
+  ``max_payload`` — violations produce structured error replies
+  (:mod:`repro.service.protocol` error codes), never a silent hangup;
+- ``SIGTERM``/``shutdown`` drain gracefully: the listener closes, new
+  requests are refused with ``shutting-down``, and every in-flight
+  request completes and is answered before the process exits.
+
+All traffic is metered through ``repro.obs`` (``service.*`` counters,
+per-method latency timers) and exported via the ``stats`` RPC.
+"""
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import __version__
+from repro.cfg.basic_block import BlockIndex
+from repro.core import ReplayConfig
+from repro.errors import ReproError
+from repro.obs import Observability
+from repro.pin import Pin, TeaReplayTool, run_native
+from repro.service.protocol import (
+    E_INTERNAL,
+    E_METHOD,
+    E_PARAMS,
+    E_PARSE,
+    E_SHUTDOWN,
+    E_SNAPSHOT,
+    E_TIMEOUT,
+    E_TOO_LARGE,
+    MAX_PAYLOAD_DEFAULT,
+    PayloadTooLarge,
+    ProtocolError,
+    encode_frame,
+    error_reply,
+    read_frame,
+    result_reply,
+)
+from repro.store.binary import load_tea_binary, peek_tea_binary
+from repro.workloads import load_benchmark
+
+#: Replay configuration names accepted by the ``replay``/``coverage``
+#: RPCs (the Table 4 axes, same names as the tools CLI).
+REPLAY_CONFIGS = {
+    "global_local": ReplayConfig.global_local,
+    "global_no_local": ReplayConfig.global_no_local,
+    "no_global_local": ReplayConfig.no_global_local,
+    "no_global_no_local": ReplayConfig.no_global_no_local,
+}
+
+
+class ServiceSetupError(ReproError):
+    """The service could not preload its snapshots."""
+
+
+class _BadParams(ReproError):
+    """Internal: invalid params for an RPC (mapped to ``bad-params``)."""
+
+
+class _UnknownSnapshot(ReproError):
+    """Internal: no such snapshot (mapped to ``unknown-snapshot``)."""
+
+
+class ServiceConfig:
+    """Operational knobs for one :class:`TeaService` instance."""
+
+    __slots__ = ("host", "port", "workers", "request_timeout",
+                 "max_payload", "drain_timeout", "debug")
+
+    def __init__(self, host="127.0.0.1", port=0, workers=4,
+                 request_timeout=60.0, max_payload=MAX_PAYLOAD_DEFAULT,
+                 drain_timeout=30.0, debug=False):
+        self.host = host
+        self.port = port
+        self.workers = max(1, int(workers))
+        self.request_timeout = request_timeout
+        self.max_payload = max_payload
+        self.drain_timeout = drain_timeout
+        #: Enables the ``sleep`` RPC (used by the timeout/drain tests).
+        self.debug = debug
+
+
+class SnapshotEntry:
+    """One preloaded snapshot: program image + trace set + automaton."""
+
+    __slots__ = ("key", "meta", "label", "program", "block_index",
+                 "trace_set", "tea", "profile", "n_bytes", "_native_cycles")
+
+    def __init__(self, key, meta, program, trace_set, tea, profile, n_bytes):
+        self.key = key
+        self.meta = meta or {}
+        self.label = self.meta.get("label") or self.meta.get("benchmark") or key
+        self.program = program
+        self.block_index = BlockIndex(program)
+        self.trace_set = trace_set
+        self.tea = tea
+        self.profile = profile
+        self.n_bytes = n_bytes
+        self._native_cycles = None
+
+    def describe(self):
+        return {
+            "key": self.key,
+            "label": self.label,
+            "benchmark": self.meta.get("benchmark"),
+            "scale": self.meta.get("scale"),
+            "kind": self.trace_set.kind,
+            "traces": len(self.trace_set),
+            "tbbs": self.trace_set.n_tbbs,
+            "edges": self.trace_set.n_edges,
+            "states": self.tea.n_states,
+            "transitions": self.tea.n_transitions,
+            "heads": self.tea.n_traces,
+            "profile": self.profile is not None,
+            "bytes": self.n_bytes,
+            "meta": self.meta,
+        }
+
+
+def load_entry(key, data):
+    """Preload one snapshot's bytes into a :class:`SnapshotEntry`.
+
+    The snapshot's meta must name the benchmark it was recorded from
+    (``repro.service build`` records it) so the program image can be
+    regenerated — the service equivalent of the paper's requirement
+    that both systems agree on the program's address space.
+    """
+    info = peek_tea_binary(data)
+    meta = info["meta"] or {}
+    benchmark = meta.get("benchmark")
+    if not benchmark:
+        raise ServiceSetupError(
+            "snapshot %s has no 'benchmark' in its meta; rebuild it with "
+            "'python -m repro.service build'" % key[:12]
+        )
+    scale = float(meta.get("scale", 1.0))
+    program = load_benchmark(benchmark, scale=scale).program
+    trace_set, tea, profile = load_tea_binary(data, BlockIndex(program))
+    return SnapshotEntry(key, meta, program, trace_set, tea, profile,
+                         len(data))
+
+
+class TeaService:
+    """The replay server.  ``await start()``, then ``serve_forever()``.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.store.AutomatonStore` to preload (every
+        snapshot in it is served).
+    config:
+        :class:`ServiceConfig`; defaults are fine for tests.
+    obs:
+        Optional shared :class:`~repro.obs.Observability`.
+    """
+
+    def __init__(self, store, config=None, obs=None):
+        self.store = store
+        self.config = config or ServiceConfig()
+        self.obs = obs if obs is not None else Observability()
+        self.entries = {}          # key -> SnapshotEntry
+        self._aliases = {}         # label/benchmark -> key
+        self._server = None
+        self._pool = None
+        self._inflight = set()
+        self._draining = False
+        self._stopped = None       # asyncio.Event, created in start()
+        self._started_at = None
+        self._replay_memo = {}     # (key, config) -> result dict
+        self._replay_memo_lock = None
+        metrics = self.obs.metrics
+        self._requests = metrics.counter("service.requests")
+        self._ok = metrics.counter("service.ok")
+        self._errors = metrics.counter("service.errors")
+        self._bytes_in = metrics.counter("service.bytes_in")
+        self._bytes_out = metrics.counter("service.bytes_out")
+        self._connections = metrics.counter("service.connections")
+        self._active = metrics.gauge("service.connections_active")
+        self._active.set(0)
+        self._methods = {
+            "ping": self._rpc_ping,
+            "snapshots": self._rpc_snapshots,
+            "snapshot-info": self._rpc_snapshot_info,
+            "replay": self._rpc_replay,
+            "coverage": self._rpc_coverage,
+            "step-batch": self._rpc_step_batch,
+            "stats": self._rpc_stats,
+            "shutdown": self._rpc_shutdown,
+        }
+        if self.config.debug:
+            self._methods["sleep"] = self._rpc_sleep
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def preload(self):
+        """Load every snapshot in the store (idempotent, synchronous)."""
+        with self.obs.metrics.timer("service.preload"):
+            for key in self.store.keys():
+                if key in self.entries:
+                    continue
+                entry = load_entry(key, self.store.get_bytes(key))
+                self.entries[key] = entry
+                self._aliases.setdefault(entry.label, key)
+                benchmark = entry.meta.get("benchmark")
+                if benchmark:
+                    self._aliases.setdefault(benchmark, key)
+        self.obs.metrics.set_gauge("service.snapshots", len(self.entries))
+
+    async def start(self):
+        """Preload snapshots, bind the listener, spin up the pool."""
+        if not len(self.store):
+            raise ServiceSetupError(
+                "store %s holds no snapshots; build one with "
+                "'python -m repro.service build'" % self.store.root
+            )
+        self.preload()
+        # Loop-bound primitives are created here, inside the running
+        # loop, so the service object itself can be built anywhere.
+        self._stopped = asyncio.Event()
+        self._replay_memo_lock = asyncio.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="tea-replay"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+        self._started_at = time.monotonic()
+        return self
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        sockets = self._server.sockets
+        return sockets[0].getsockname()[:2]
+
+    async def serve_forever(self):
+        """Block until :meth:`stop` completes."""
+        await self._stopped.wait()
+
+    def initiate_shutdown(self):
+        """Begin a graceful drain from the event loop (signal-safe)."""
+        if not self._draining:
+            asyncio.ensure_future(self.stop())
+
+    async def stop(self):
+        """Graceful drain: refuse new work, finish in-flight, close."""
+        if self._server is None:
+            return
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        pending = [task for task in self._inflight if not task.done()]
+        if pending:
+            done, still_pending = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout
+            )
+            for task in still_pending:
+                task.cancel()
+        self._pool.shutdown(wait=False)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection / request plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        self._connections.inc()
+        self._active.value = (self._active.value or 0) + 1
+        write_lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    request = await read_frame(
+                        reader, self.config.max_payload,
+                        counter=self._bytes_in,
+                    )
+                except PayloadTooLarge as error:
+                    await self._send(
+                        writer, write_lock,
+                        error_reply(None, E_TOO_LARGE, error),
+                    )
+                    self._errors.inc()
+                    break
+                except ProtocolError as error:
+                    await self._send(
+                        writer, write_lock,
+                        error_reply(None, E_PARSE, error),
+                    )
+                    self._errors.inc()
+                    break
+                if request is None:
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_request(request, writer, write_lock)
+                )
+                tasks.add(task)
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            # Answer everything already accepted before closing — this
+            # is what "no pending-request loss" means on drain.
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._active.value = (self._active.value or 0) - 1
+
+    async def _send(self, writer, lock, reply):
+        data = encode_frame(reply)
+        async with lock:
+            writer.write(data)
+            await writer.drain()
+        self._bytes_out.inc(len(data))
+
+    async def _serve_request(self, request, writer, write_lock):
+        request_id = request.get("id")
+        method = request.get("method")
+        self._requests.inc()
+        started = time.perf_counter()
+        if self._draining:
+            reply = error_reply(
+                request_id, E_SHUTDOWN, "server is draining"
+            )
+        else:
+            handler = self._methods.get(method)
+            if handler is None:
+                reply = error_reply(
+                    request_id, E_METHOD, "unknown method %r" % method
+                )
+            else:
+                reply = await self._invoke(handler, request, request_id)
+        if reply.get("ok"):
+            self._ok.inc()
+        else:
+            self._errors.inc()
+        try:
+            await self._send(writer, write_lock, reply)
+        except (ConnectionError, OSError):
+            pass
+        if method in self._methods:
+            # Manual latency accumulation: PhaseTimer's start/stop guard
+            # rejects overlap, and requests of one method do overlap.
+            timer = self.obs.metrics.timer("service.latency.%s" % method)
+            timer.elapsed += time.perf_counter() - started
+            timer.count += 1
+            self.obs.metrics.counter("service.method.%s" % method).inc()
+
+    async def _invoke(self, handler, request, request_id):
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            return error_reply(request_id, E_PARAMS,
+                               "params must be an object")
+        try:
+            result = await asyncio.wait_for(
+                handler(params), timeout=self.config.request_timeout
+            )
+            return result_reply(request_id, result)
+        except asyncio.TimeoutError:
+            return error_reply(
+                request_id, E_TIMEOUT,
+                "request exceeded %.1fs" % self.config.request_timeout,
+            )
+        except _BadParams as error:
+            return error_reply(request_id, E_PARAMS, error)
+        except _UnknownSnapshot as error:
+            return error_reply(request_id, E_SNAPSHOT, error)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — structured reply
+            return error_reply(
+                request_id, E_INTERNAL,
+                "%s: %s" % (type(error).__name__, error),
+            )
+
+    # ------------------------------------------------------------------
+    # RPC methods
+    # ------------------------------------------------------------------
+
+    def _resolve(self, params):
+        name = params.get("snapshot")
+        if name is None:
+            if len(self.entries) == 1:
+                return next(iter(self.entries.values()))
+            raise _BadParams(
+                "'snapshot' is required when multiple snapshots are loaded"
+            )
+        key = self._aliases.get(name, name)
+        entry = self.entries.get(key)
+        if entry is None:
+            raise _UnknownSnapshot("no snapshot %r is loaded" % name)
+        return entry
+
+    async def _rpc_ping(self, params):
+        return {"pong": True, "version": __version__,
+                "snapshots": len(self.entries)}
+
+    async def _rpc_snapshots(self, params):
+        return {
+            "snapshots": [
+                self.entries[key].describe()
+                for key in sorted(self.entries)
+            ]
+        }
+
+    async def _rpc_snapshot_info(self, params):
+        return self._resolve(params).describe()
+
+    def _replay_config(self, params):
+        name = params.get("config", "global_local")
+        factory = REPLAY_CONFIGS.get(name)
+        if factory is None:
+            raise _BadParams(
+                "unknown replay config %r (expected one of %s)"
+                % (name, ", ".join(sorted(REPLAY_CONFIGS)))
+            )
+        return name, factory
+
+    async def _rpc_replay(self, params):
+        entry = self._resolve(params)
+        name, factory = self._replay_config(params)
+        batch = params.get("batch")
+        if batch is not None and (not isinstance(batch, int) or batch < 1):
+            raise _BadParams("'batch' must be a positive integer")
+        loop = asyncio.get_event_loop()
+        result = await loop.run_in_executor(
+            self._pool, self._replay_blocking, entry, factory(), batch
+        )
+        result["snapshot"] = entry.key
+        result["config"] = name
+        async with self._replay_memo_lock:
+            self._replay_memo.setdefault((entry.key, name), result)
+        return result
+
+    async def _rpc_coverage(self, params):
+        entry = self._resolve(params)
+        name, _ = self._replay_config(params)
+        async with self._replay_memo_lock:
+            memo = self._replay_memo.get((entry.key, name))
+        if memo is None:
+            memo = await self._rpc_replay(params)
+        return {
+            "snapshot": entry.key,
+            "config": name,
+            "coverage_pin": memo["coverage_pin"],
+            "coverage_dbt": memo["coverage_dbt"],
+            "covered_pin": memo["stats"]["covered_pin"],
+            "total_pin": memo["stats"]["total_pin"],
+        }
+
+    def _replay_blocking(self, entry, config, batch):
+        """Worker-pool body: one full replay over a shared automaton."""
+        tool = TeaReplayTool(
+            trace_set=entry.trace_set, config=config,
+            batch_size=batch, tea=entry.tea,
+        )
+        result = Pin(entry.program, tool=tool).run()
+        stats = tool.stats.as_dict()
+        if entry._native_cycles is None:
+            # Benign race: concurrent firsts compute the same number.
+            entry._native_cycles = run_native(entry.program).cycles
+        native = entry._native_cycles
+        return {
+            "coverage_pin": tool.stats.coverage(pin_counting=True),
+            "coverage_dbt": tool.stats.coverage(pin_counting=False),
+            "stats": stats,
+            "cycles": result.cycles,
+            "megacycles": result.megacycles,
+            "native_cycles": native,
+            "slowdown": (result.cycles / native) if native else 0.0,
+            "states": entry.tea.n_states,
+            "transitions": entry.tea.n_transitions,
+        }
+
+    async def _rpc_step_batch(self, params):
+        entry = self._resolve(params)
+        labels = params.get("labels")
+        if not isinstance(labels, list) or not labels:
+            raise _BadParams("'labels' must be a non-empty list of PCs")
+        try:
+            pcs = [
+                int(label, 16) if isinstance(label, str) else int(label)
+                for label in labels
+            ]
+        except (TypeError, ValueError):
+            raise _BadParams(
+                "labels must be integers or hex strings"
+            ) from None
+        tea = entry.tea
+        start = params.get("start", 0)
+        if not isinstance(start, int) or not 0 <= start < tea.n_states:
+            raise _BadParams("'start' must be a state id in [0, %d)"
+                             % tea.n_states)
+        return_states = bool(params.get("return_states", False))
+        sids = []
+        in_trace = 0
+        enters = 0
+        exits = 0
+        current = tea.states[start]
+        next_state = tea.next_state
+        for pc in pcs:
+            following = next_state(current, pc)
+            if return_states:
+                sids.append(following.sid)
+            if following.tbb is not None:
+                in_trace += 1
+            if current.trace_id != following.trace_id:
+                if following.tbb is not None:
+                    enters += 1
+                if current.tbb is not None:
+                    exits += 1
+            current = following
+        result = {
+            "snapshot": entry.key,
+            "steps": len(pcs),
+            "final": current.sid,
+            "final_name": current.name,
+            "in_trace": in_trace,
+            "nte": len(pcs) - in_trace,
+            "trace_enters": enters,
+            "trace_exits": exits,
+        }
+        if return_states:
+            result["states"] = sids
+        return result
+
+    async def _rpc_stats(self, params):
+        snapshot = self.obs.snapshot()
+        methods = {
+            name.split("service.method.", 1)[1]: value
+            for name, value in snapshot["metrics"]["counters"].items()
+            if name.startswith("service.method.")
+        }
+        return {
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None else 0.0
+            ),
+            "snapshots": len(self.entries),
+            "draining": self._draining,
+            "methods": methods,
+            "metrics": snapshot["metrics"],
+        }
+
+    async def _rpc_shutdown(self, params):
+        self.initiate_shutdown()
+        return {"stopping": True}
+
+    async def _rpc_sleep(self, params):
+        seconds = float(params.get("seconds", 0.0))
+        await asyncio.sleep(seconds)
+        return {"slept": seconds}

@@ -1,0 +1,95 @@
+"""In-process harness for driving a :class:`TeaService` from tests.
+
+:class:`ServiceThread` runs the asyncio server on a dedicated
+background event-loop thread so ordinary blocking test code (and the
+blocking :class:`~repro.service.client.ServiceClient`) can talk to a
+real TCP server without subprocesses.  Used by ``tests/test_service.py``
+and handy for interactive experiments::
+
+    with ServiceThread(store) as service:
+        with service.client() as client:
+            print(client.ping())
+"""
+
+import asyncio
+import threading
+
+from repro.service.client import ServiceClient
+from repro.service.server import TeaService
+
+
+class ServiceThread:
+    """Run a :class:`TeaService` on a background event loop thread."""
+
+    def __init__(self, store, config=None, obs=None, start_timeout=120.0):
+        self.service = TeaService(store, config=config, obs=obs)
+        self.start_timeout = start_timeout
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+
+    def start(self):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="tea-service", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.start(), self._loop
+        )
+        try:
+            future.result(timeout=self.start_timeout)
+        except BaseException:
+            self._shutdown_loop()
+            raise
+        return self
+
+    def stop(self):
+        """Graceful drain, then tear the loop down."""
+        if self._loop is None:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.service.stop(), self._loop
+            ).result(timeout=self.start_timeout)
+        finally:
+            self._shutdown_loop()
+
+    def _run_loop(self):
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _shutdown_loop(self):
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        if not self._loop.is_running():
+            self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        return self.service.address
+
+    @property
+    def host(self):
+        return self.address[0]
+
+    @property
+    def port(self):
+        return self.address[1]
+
+    def client(self, **kwargs):
+        """A fresh blocking client aimed at this server."""
+        host, port = self.address
+        return ServiceClient(host, port, **kwargs)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

@@ -1,0 +1,47 @@
+"""``repro.store`` — persistent, reusable TEA snapshots.
+
+The paper's third listed use of TEA is "storing trace shape and
+profiling information for reuse in future executions".  This package
+turns that into a real artifact layer:
+
+- :mod:`repro.store.binary` — the ``TEAB`` binary snapshot codec:
+  magic + version + CRC32 envelope around varint/delta-encoded trace
+  tables, the automaton's state/transition/head tables, and optional
+  profile counters.  Loading rebuilds the saved automaton byte-exactly
+  *without* re-running Algorithm 1.
+- :mod:`repro.store.store` — :class:`AutomatonStore`, a
+  content-addressed snapshot directory with atomic writes, plus
+  :func:`describe_snapshot` for format-sniffing inspection of both the
+  binary and the JSON TEA formats.
+
+The replay service (:mod:`repro.service`) serves snapshots straight
+out of a store; ``repro tools tea info`` inspects individual files.
+"""
+
+from repro.store.binary import (
+    BINARY_VERSION,
+    dump_tea_binary,
+    load_tea_binary,
+    load_tea_binary_file,
+    peek_tea_binary,
+    save_tea_binary,
+)
+from repro.store.store import (
+    DEFAULT_STORE_DIR,
+    AutomatonStore,
+    describe_snapshot,
+    snapshot_key,
+)
+
+__all__ = [
+    "BINARY_VERSION",
+    "dump_tea_binary",
+    "load_tea_binary",
+    "load_tea_binary_file",
+    "peek_tea_binary",
+    "save_tea_binary",
+    "AutomatonStore",
+    "DEFAULT_STORE_DIR",
+    "describe_snapshot",
+    "snapshot_key",
+]

@@ -1,0 +1,553 @@
+"""The binary TEA snapshot codec (format ``TEAB`` v1).
+
+The JSON TEA document (:mod:`repro.core.serialization`) stores only the
+trace *shape* and rebuilds the automaton by re-running Algorithm 1 on
+load.  A binary snapshot additionally stores the automaton itself —
+state table, transition lists and the NTE head registry — so loading
+rebuilds a TEA that is identical to the one that was saved (same state
+ids, same transitions, same heads) *without* re-running Algorithm 1.
+That is the paper's "storing trace shape and profiling information for
+reuse in future executions" turned into a reusable artifact: the
+:class:`~repro.store.store.AutomatonStore` keeps snapshots
+content-addressed and the replay service serves them to many clients.
+
+Layout
+------
+::
+
+    magic   b"TEAB"
+    u8      format version (1)
+    u8      flags (bit 0: profile section, bit 1: meta section)
+    ...     payload (varint-encoded sections, see below)
+    u32le   CRC32 over everything above
+
+All integers in the payload are unsigned LEB128 varints; deltas
+(block start addresses, transition labels, head entries) are zigzag
+encoded so occasional backwards jumps stay cheap.  Sections, in order:
+
+1. **meta** (optional): length-prefixed UTF-8 JSON — free-form snapshot
+   metadata (benchmark name, scale, recording strategy, label).  The
+   service uses it to rebuild the program image a snapshot belongs to.
+2. **traces**: the trace-set document — per trace: id, kind, anchor,
+   delta-encoded TBB spans, and (from, to) edge pairs.  Edge labels are
+   not stored: a label is by construction the successor TBB's start.
+3. **automaton**: per non-NTE state its (trace_id, tbb_index) in state-id
+   order, then per state the transition list as (label delta, dest sid)
+   pairs sorted by label, then the head registry as (entry delta, sid)
+   pairs sorted by entry.
+4. **profile** (optional): state counts as (trace_id, tbb_index, count)
+   triples plus the three per-trace counter maps — the same
+   renumbering-safe keying the JSON format uses.
+"""
+
+import json
+import zlib
+
+from repro.core.automaton import NTE_SID, TEA
+from repro.core.builder import build_tea
+from repro.core.profile import TeaProfile
+from repro.errors import SerializationError
+from repro.traces.model import Trace, TraceSet
+
+MAGIC = b"TEAB"
+BINARY_VERSION = 1
+
+FLAG_PROFILE = 0x01
+FLAG_META = 0x02
+
+#: Profile counter maps stored as (trace_id, value) pairs.
+_PROFILE_TRACE_MAPS = ("trace_enters", "trace_exits", "trace_head_executions")
+
+
+# ---------------------------------------------------------------------
+# varint primitives
+# ---------------------------------------------------------------------
+
+def write_uvarint(out, value):
+    """Append ``value`` (non-negative int) as unsigned LEB128."""
+    if value < 0:
+        raise SerializationError("uvarint cannot encode %d" % value)
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def zigzag(value):
+    """Map a signed int to the unsigned zigzag encoding."""
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value):
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def write_svarint(out, value):
+    """Append a signed int as zigzag + LEB128."""
+    write_uvarint(out, zigzag(value))
+
+
+class _Reader:
+    """Bounded varint reader over the payload bytes."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data, start=0, end=None):
+        self.data = data
+        self.pos = start
+        self.end = len(data) if end is None else end
+
+    def uvarint(self):
+        result = 0
+        shift = 0
+        data = self.data
+        pos = self.pos
+        end = self.end
+        while True:
+            if pos >= end:
+                raise SerializationError("truncated varint in snapshot")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                self.pos = pos
+                return result
+            shift += 7
+            if shift > 70:
+                raise SerializationError("oversized varint in snapshot")
+
+    def svarint(self):
+        return unzigzag(self.uvarint())
+
+    def uvarint_run(self, count):
+        """Decode ``count`` consecutive varints in one tight loop.
+
+        The payload is mostly long homogeneous varint runs (TBB spans,
+        edge pairs, transition lists); decoding a run with locals
+        instead of per-value method calls is what makes snapshot loads
+        competitive with the C JSON parser.
+        """
+        data = self.data
+        pos = self.pos
+        end = self.end
+        values = []
+        append = values.append
+        for _ in range(count):
+            if pos >= end:
+                raise SerializationError("truncated varint in snapshot")
+            byte = data[pos]
+            pos += 1
+            if byte < 0x80:
+                append(byte)
+                continue
+            result = byte & 0x7F
+            shift = 7
+            while True:
+                if pos >= end:
+                    raise SerializationError("truncated varint in snapshot")
+                byte = data[pos]
+                pos += 1
+                result |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+                if shift > 70:
+                    raise SerializationError("oversized varint in snapshot")
+            append(result)
+        self.pos = pos
+        return values
+
+    def take(self, count):
+        if self.pos + count > self.end:
+            raise SerializationError("truncated section in snapshot")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def string(self):
+        return self.take(self.uvarint()).decode("utf-8")
+
+    def optional_uvarint(self):
+        # Presence is its own varint (0 = absent, 1 = present).
+        if self.uvarint() == 0:
+            return None
+        return self.uvarint()
+
+    @property
+    def exhausted(self):
+        return self.pos >= self.end
+
+
+def _write_string(out, text):
+    data = text.encode("utf-8")
+    write_uvarint(out, len(data))
+    out.extend(data)
+
+
+def _write_optional_uvarint(out, value):
+    if value is None:
+        write_uvarint(out, 0)
+    else:
+        write_uvarint(out, 1)
+        write_uvarint(out, value)
+
+
+# ---------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------
+
+def dump_tea_binary(trace_set, tea=None, profile=None, meta=None):
+    """Serialize ``trace_set`` (+ automaton, profile, meta) to bytes.
+
+    ``tea`` defaults to a fresh Algorithm 1 build over ``trace_set`` —
+    passing the automaton you actually used guarantees the snapshot
+    reproduces *its* state numbering exactly.  The output is
+    deterministic: the same inputs always produce the same bytes, which
+    is what makes the store content-addressable.
+    """
+    if tea is None:
+        tea = build_tea(trace_set)
+    flags = 0
+    if profile is not None:
+        flags |= FLAG_PROFILE
+    if meta is not None:
+        flags |= FLAG_META
+
+    out = bytearray()
+    out += MAGIC
+    out.append(BINARY_VERSION)
+    out.append(flags)
+
+    if meta is not None:
+        _write_string(
+            out, json.dumps(meta, sort_keys=True, separators=(",", ":"))
+        )
+
+    _encode_traces(out, trace_set)
+    _encode_automaton(out, trace_set, tea)
+    if profile is not None:
+        _encode_profile(out, tea, profile)
+
+    out += zlib.crc32(out).to_bytes(4, "little")
+    return bytes(out)
+
+
+def _encode_traces(out, trace_set):
+    _write_string(out, trace_set.kind or "")
+    write_uvarint(out, len(trace_set.traces))
+    for trace in trace_set:
+        write_uvarint(out, trace.trace_id)
+        _write_string(out, trace.kind)
+        _write_optional_uvarint(out, trace.anchor)
+        write_uvarint(out, len(trace.tbbs))
+        previous = 0
+        for tbb in trace:
+            write_svarint(out, tbb.block.start - previous)
+            write_uvarint(out, tbb.block.end - tbb.block.start)
+            previous = tbb.block.start
+        edges = [
+            (tbb.index, successor)
+            for tbb in trace
+            for _, successor in sorted(tbb.successors.items())
+        ]
+        write_uvarint(out, len(edges))
+        previous = 0
+        for from_index, to_index in edges:
+            write_uvarint(out, from_index - previous)
+            write_uvarint(out, to_index)
+            previous = from_index
+
+
+def _encode_automaton(out, trace_set, tea):
+    write_uvarint(out, tea.n_states)
+    for state in tea.states:
+        if state.sid == NTE_SID:
+            continue
+        if state.tbb is None:
+            raise SerializationError(
+                "state %d has no TBB and is not NTE" % state.sid
+            )
+        write_uvarint(out, state.tbb.trace_id)
+        write_uvarint(out, state.tbb.index)
+    for state in tea.states:
+        write_uvarint(out, len(state.transitions))
+        previous = 0
+        for label, destination in sorted(state.transitions.items()):
+            write_svarint(out, label - previous)
+            write_uvarint(out, destination.sid)
+            previous = label
+    write_uvarint(out, len(tea.heads))
+    previous = 0
+    for entry, head in sorted(tea.heads.items()):
+        write_svarint(out, entry - previous)
+        write_uvarint(out, head.sid)
+        previous = entry
+
+
+def _encode_profile(out, tea, profile):
+    counts = []
+    for state in tea.states:
+        if state.tbb is None:
+            continue
+        executed = profile.state_counts.get(state.sid, 0)
+        if executed:
+            counts.append((state.tbb.trace_id, state.tbb.index, executed))
+    write_uvarint(out, len(counts))
+    for trace_id, index, executed in counts:
+        write_uvarint(out, trace_id)
+        write_uvarint(out, index)
+        write_uvarint(out, executed)
+    for name in _PROFILE_TRACE_MAPS:
+        items = sorted(getattr(profile, name).items())
+        write_uvarint(out, len(items))
+        for trace_id, value in items:
+            write_uvarint(out, int(trace_id))
+            write_uvarint(out, value)
+
+
+# ---------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------
+
+def _open_snapshot(data):
+    """Validate the envelope; returns ``(reader, flags)`` over the payload."""
+    if len(data) < len(MAGIC) + 2 + 4:
+        raise SerializationError("snapshot too short to be a TEAB file")
+    if data[:4] != MAGIC:
+        raise SerializationError("bad magic: not a binary TEA snapshot")
+    stored_crc = int.from_bytes(data[-4:], "little")
+    actual_crc = zlib.crc32(data[:-4])
+    if stored_crc != actual_crc:
+        raise SerializationError(
+            "snapshot CRC mismatch (stored %08x, computed %08x)"
+            % (stored_crc, actual_crc)
+        )
+    version = data[4]
+    if version != BINARY_VERSION:
+        raise SerializationError(
+            "unsupported binary TEA snapshot v%d" % version
+        )
+    flags = data[5]
+    return _Reader(data, start=6, end=len(data) - 4), flags
+
+
+def _decode_meta(reader, flags):
+    if not flags & FLAG_META:
+        return None
+    try:
+        return json.loads(reader.string())
+    except json.JSONDecodeError as error:
+        raise SerializationError(
+            "malformed snapshot meta: %s" % error
+        ) from None
+
+
+def _decode_traces(reader, block_index):
+    kind = reader.string() or None
+    trace_set = TraceSet(kind=kind)
+    n_traces = reader.uvarint()
+    for _ in range(n_traces):
+        trace_id = reader.uvarint()
+        trace_kind = reader.string()
+        anchor = reader.optional_uvarint()
+        trace = Trace(trace_id, trace_kind, anchor=anchor)
+        n_tbbs = reader.uvarint()
+        spans = reader.uvarint_run(2 * n_tbbs)
+        previous = 0
+        block = block_index.block
+        add_block = trace.add_block
+        for position in range(0, 2 * n_tbbs, 2):
+            start = previous + unzigzag(spans[position])
+            add_block(block(start, start + spans[position + 1]))
+            previous = start
+        n_edges = reader.uvarint()
+        pairs = reader.uvarint_run(2 * n_edges)
+        previous = 0
+        add_edge = trace.add_edge
+        for position in range(0, 2 * n_edges, 2):
+            from_index = previous + pairs[position]
+            to_index = pairs[position + 1]
+            if not 0 <= from_index < n_tbbs or not 0 <= to_index < n_tbbs:
+                raise SerializationError(
+                    "edge index out of range in trace T%d" % trace_id
+                )
+            add_edge(from_index, to_index)
+            previous = from_index
+        trace_set.traces.append(trace)
+        if trace.entry in trace_set.by_entry:
+            raise SerializationError(
+                "duplicate trace entry %#x" % trace.entry
+            )
+        trace_set.by_entry[trace.entry] = trace
+    trace_set.validate()
+    return trace_set
+
+
+def _decode_automaton(reader, trace_set):
+    """Rebuild the automaton tables directly — no Algorithm 1 pass."""
+    by_key = {
+        (tbb.trace_id, tbb.index): tbb
+        for trace in trace_set
+        for tbb in trace
+    }
+    n_states = reader.uvarint()
+    if n_states < 1:
+        raise SerializationError("snapshot automaton has no NTE state")
+    tea = TEA()
+    refs = reader.uvarint_run(2 * (n_states - 1))
+    add_tbb_state = tea.add_tbb_state
+    for position in range(0, len(refs), 2):
+        key = (refs[position], refs[position + 1])
+        tbb = by_key.get(key)
+        if tbb is None:
+            raise SerializationError(
+                "automaton state refers to unknown TBB (T%d, #%d)" % key
+            )
+        add_tbb_state(tbb)
+    states = tea.states
+    for state in states:
+        n_transitions = reader.uvarint()
+        run = reader.uvarint_run(2 * n_transitions)
+        previous = 0
+        transitions = state.transitions
+        for position in range(0, 2 * n_transitions, 2):
+            label = previous + unzigzag(run[position])
+            sid = run[position + 1]
+            if not 0 <= sid < n_states:
+                raise SerializationError(
+                    "transition to unknown state %d" % sid
+                )
+            transitions[label] = states[sid]
+            previous = label
+    n_heads = reader.uvarint()
+    run = reader.uvarint_run(2 * n_heads)
+    previous = 0
+    for position in range(0, 2 * n_heads, 2):
+        entry = previous + unzigzag(run[position])
+        sid = run[position + 1]
+        if not 0 < sid < n_states:
+            raise SerializationError("head refers to unknown state %d" % sid)
+        tea.heads[entry] = states[sid]
+        previous = entry
+    return tea
+
+
+def _decode_profile(reader, flags, trace_set, tea):
+    if not flags & FLAG_PROFILE:
+        return None
+    by_key = {}
+    for trace in trace_set:
+        for tbb in trace:
+            by_key[(tbb.trace_id, tbb.index)] = tea.state_for(tbb)
+    profile = TeaProfile()
+    n_counts = reader.uvarint()
+    triples = reader.uvarint_run(3 * n_counts)
+    for position in range(0, 3 * n_counts, 3):
+        key = (triples[position], triples[position + 1])
+        state = by_key.get(key)
+        if state is None:
+            raise SerializationError(
+                "profile refers to unknown TBB (T%d, #%d)" % key
+            )
+        profile.state_counts[state.sid] = triples[position + 2]
+    for name in _PROFILE_TRACE_MAPS:
+        counters = getattr(profile, name)
+        n_items = reader.uvarint()
+        pairs = reader.uvarint_run(2 * n_items)
+        for position in range(0, 2 * n_items, 2):
+            counters[pairs[position]] = pairs[position + 1]
+    return profile
+
+
+def load_tea_binary(data, block_index, with_meta=False):
+    """Rebuild ``(trace_set, tea, profile_or_None)`` from snapshot bytes.
+
+    The automaton comes back exactly as saved — same state ids, same
+    transition lists, same head registry — without re-running
+    Algorithm 1.  With ``with_meta=True`` the result is a 4-tuple whose
+    last element is the snapshot's meta dict (or ``None``).
+    """
+    reader, flags = _open_snapshot(data)
+    meta = _decode_meta(reader, flags)
+    trace_set = _decode_traces(reader, block_index)
+    tea = _decode_automaton(reader, trace_set)
+    profile = _decode_profile(reader, flags, trace_set, tea)
+    if not reader.exhausted:
+        raise SerializationError(
+            "%d trailing bytes after snapshot payload"
+            % (reader.end - reader.pos)
+        )
+    if with_meta:
+        return trace_set, tea, profile, meta
+    return trace_set, tea, profile
+
+
+def peek_tea_binary(data):
+    """Structural summary of snapshot bytes, without a program image.
+
+    Unlike :func:`load_tea_binary` this needs no :class:`BlockIndex`:
+    block spans are scanned but not interned.  Returns a dict with the
+    version, counts, profile presence, meta, and byte size.
+    """
+    reader, flags = _open_snapshot(data)
+    meta = _decode_meta(reader, flags)
+    kind = reader.string() or None
+    n_traces = reader.uvarint()
+    n_tbbs = 0
+    n_edges = 0
+    for _ in range(n_traces):
+        reader.uvarint()               # trace id
+        reader.string()                # kind
+        reader.optional_uvarint()      # anchor
+        trace_tbbs = reader.uvarint()
+        n_tbbs += trace_tbbs
+        reader.uvarint_run(2 * trace_tbbs)
+        trace_edges = reader.uvarint()
+        n_edges += trace_edges
+        reader.uvarint_run(2 * trace_edges)
+    n_states = reader.uvarint()
+    reader.uvarint_run(2 * (n_states - 1))
+    n_transitions = 0
+    for _ in range(n_states):
+        state_transitions = reader.uvarint()
+        n_transitions += state_transitions
+        reader.uvarint_run(2 * state_transitions)
+    n_heads = reader.uvarint()
+    return {
+        "format": "binary",
+        "version": BINARY_VERSION,
+        "kind": kind,
+        "traces": n_traces,
+        "tbbs": n_tbbs,
+        "edges": n_edges,
+        "states": n_states,
+        "transitions": n_transitions,
+        "heads": n_heads,
+        "profile": bool(flags & FLAG_PROFILE),
+        "meta": meta,
+        "bytes": len(data),
+    }
+
+
+def save_tea_binary(path, trace_set, tea=None, profile=None, meta=None):
+    """Write a binary snapshot to ``path`` atomically."""
+    from repro.util import atomic_write_bytes
+
+    atomic_write_bytes(
+        path, dump_tea_binary(trace_set, tea=tea, profile=profile, meta=meta)
+    )
+
+
+def load_tea_binary_file(path, block_index, with_meta=False):
+    """Read a snapshot previously written by :func:`save_tea_binary`."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise SerializationError("cannot read %s: %s" % (path, error)) from None
+    return load_tea_binary(data, block_index, with_meta=with_meta)

@@ -1,0 +1,208 @@
+"""Content-addressed on-disk store for binary TEA snapshots.
+
+An :class:`AutomatonStore` is a directory of ``TEAB`` snapshots keyed
+by the SHA-256 of their bytes — the same content-addressing discipline
+as the harness result cache (``repro.harness.cache``), with the same
+two-level hash-prefix sharding and the same atomic temp-file +
+``os.replace`` writes (now shared via :mod:`repro.util.fsio`).  Because
+the binary codec is deterministic, storing the same automaton twice is
+a no-op, and a key fully identifies an automaton's shape, numbering and
+profile.
+
+The replay service (:mod:`repro.service`) preloads every snapshot in a
+store at startup and serves them by key (or by the ``label`` /
+``benchmark`` recorded in the snapshot meta) to concurrent clients.
+"""
+
+import hashlib
+import os
+
+from repro.errors import SerializationError
+from repro.obs import Observability
+from repro.store.binary import (
+    dump_tea_binary,
+    load_tea_binary,
+    peek_tea_binary,
+)
+from repro.util import atomic_write_bytes
+
+#: File extension for stored snapshots.
+SNAPSHOT_SUFFIX = ".teab"
+
+#: Default store directory (relative to the invoking CWD).
+DEFAULT_STORE_DIR = ".tea_store"
+
+
+def snapshot_key(data):
+    """The content address (SHA-256 hex digest) of snapshot bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class AutomatonStore:
+    """A directory of content-addressed binary TEA snapshots.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the snapshots (created lazily on first put).
+    obs:
+        Optional :class:`~repro.obs.Observability` receiving the
+        ``store.*`` traffic counters; a private one is created
+        otherwise.
+    """
+
+    def __init__(self, root=DEFAULT_STORE_DIR, obs=None):
+        self.root = str(root)
+        self.obs = obs if obs is not None else Observability()
+        metrics = self.obs.metrics
+        self._puts = metrics.counter("store.puts")
+        self._gets = metrics.counter("store.gets")
+        self._bytes_written = metrics.counter("store.bytes_written")
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, key):
+        """File backing ``key`` (two-level sharding by hash prefix)."""
+        return os.path.join(self.root, key[:2], key + SNAPSHOT_SUFFIX)
+
+    def put_bytes(self, data):
+        """Store raw snapshot bytes; returns their content key.
+
+        Validates the envelope first so a store can never hold a file
+        that is not a parseable snapshot.  Re-putting existing content
+        is a cheap no-op (the key already names identical bytes).
+        """
+        peek_tea_binary(data)  # envelope + CRC validation
+        key = snapshot_key(data)
+        path = self.path_for(key)
+        if not os.path.exists(path):
+            atomic_write_bytes(path, data)
+            self._bytes_written.inc(len(data))
+        self._puts.inc()
+        return key
+
+    def put(self, trace_set, tea=None, profile=None, meta=None):
+        """Encode and store one automaton; returns its content key."""
+        return self.put_bytes(
+            dump_tea_binary(trace_set, tea=tea, profile=profile, meta=meta)
+        )
+
+    def get_bytes(self, key):
+        """Raw snapshot bytes for ``key``; raises on unknown keys."""
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            raise SerializationError(
+                "no snapshot %s in store %s" % (key, self.root)
+            ) from None
+        self._gets.inc()
+        return data
+
+    def load(self, key, block_index, with_meta=False):
+        """Rebuild ``(trace_set, tea, profile)`` for ``key``.
+
+        ``block_index`` must be backed by the program image the
+        snapshot was recorded against, exactly as for the JSON loaders.
+        """
+        return load_tea_binary(
+            self.get_bytes(key), block_index, with_meta=with_meta
+        )
+
+    def describe(self, key):
+        """Structural summary of ``key`` (no program image needed)."""
+        info = peek_tea_binary(self.get_bytes(key))
+        info["key"] = key
+        return info
+
+    # ------------------------------------------------------------------
+
+    def _entry_paths(self):
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for filename in sorted(os.listdir(shard_dir)):
+                if (filename.endswith(SNAPSHOT_SUFFIX)
+                        and not filename.startswith(".")):
+                    yield os.path.join(shard_dir, filename)
+
+    def keys(self):
+        """Content keys of every stored snapshot (sorted)."""
+        return [
+            os.path.basename(path)[:-len(SNAPSHOT_SUFFIX)]
+            for path in self._entry_paths()
+        ]
+
+    def __contains__(self, key):
+        return os.path.exists(self.path_for(key))
+
+    def __len__(self):
+        return sum(1 for _ in self._entry_paths())
+
+    def total_bytes(self):
+        """Bytes used by all snapshots."""
+        return sum(os.path.getsize(path) for path in self._entry_paths())
+
+    def clear(self):
+        """Delete every snapshot; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self):
+        return "<AutomatonStore %s: %d snapshots>" % (self.root, len(self))
+
+
+def describe_snapshot(path):
+    """Format-sniffing summary of a TEA file (JSON document or binary).
+
+    Backs ``repro tools tea info``: returns the same dict shape for
+    both formats — version, format, state/transition/head counts,
+    profile presence and on-disk size.  JSON documents rebuild their
+    automaton with Algorithm 1, so the derived counts (one state per
+    TBB plus NTE, one transition per edge, one head per trace) are
+    reported for them.
+    """
+    import json
+
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise SerializationError("cannot read %s: %s" % (path, error)) from None
+    if data[:4] == b"TEAB":
+        return peek_tea_binary(data)
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise SerializationError(
+            "%s is neither a binary TEA snapshot nor a JSON document" % path
+        ) from None
+    if not isinstance(document, dict) or "version" not in document:
+        raise SerializationError("%s is not a TEA document" % path)
+    traces_doc = document.get("traces", document)
+    traces = traces_doc.get("traces", [])
+    n_tbbs = sum(len(trace.get("tbbs", ())) for trace in traces)
+    n_edges = sum(len(trace.get("edges", ())) for trace in traces)
+    return {
+        "format": "json",
+        "version": document.get("version"),
+        "kind": traces_doc.get("kind"),
+        "traces": len(traces),
+        "tbbs": n_tbbs,
+        "edges": n_edges,
+        "states": n_tbbs + 1,
+        "transitions": n_edges,
+        "heads": len(traces),
+        "profile": "profile" in document,
+        "meta": None,
+        "bytes": len(data),
+    }

@@ -8,7 +8,10 @@
 - ``replay`` — load a trace file and replay it via TEA under MiniPin,
   reporting coverage, slowdown and optionally a profile — the paper's
   pintool;
-- ``info`` — summarize a trace file (traces, TBBs, sizes, savings).
+- ``info`` — summarize a trace file (traces, TBBs, sizes, savings);
+- ``tea info`` — summarize a TEA file in either format (the versioned
+  JSON document or the binary ``TEAB`` store snapshot): format,
+  state/transition/head counts, profile presence, on-disk size.
 
 The two sides communicate only through the trace file, so they can run
 in different processes — the cross-environment workflow of Section 3.1.

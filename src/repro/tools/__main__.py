@@ -8,6 +8,8 @@ Examples::
     python -m repro.tools replay --source program.s --traces t.json \\
         --config no_global_local --profile
     python -m repro.tools info --traces traces.json
+    python -m repro.tools tea info tea.json
+    python -m repro.tools tea info snapshot.teab
     python -m repro.tools metrics --benchmark 176.gcc --traces traces.json
     python -m repro.tools metrics --source program.s --format text \\
         --events 64 --out metrics.json
@@ -151,6 +153,24 @@ def _cmd_cache(args):
     return 0
 
 
+def _cmd_tea_info(args):
+    """Summarize a TEA file — JSON document or binary TEAB snapshot."""
+    from repro.store import describe_snapshot
+
+    info = describe_snapshot(args.file)
+    print("TEA snapshot: %s (%s format v%s)"
+          % (args.file, info["format"], info["version"]))
+    print("%d traces (kind %s), %d TBBs, %d edges"
+          % (info["traces"], info["kind"], info["tbbs"], info["edges"]))
+    print("automaton: %d states, %d transitions, %d heads"
+          % (info["states"], info["transitions"], info["heads"]))
+    print("profile: %s" % ("present" if info["profile"] else "absent"))
+    if info.get("meta"):
+        print("meta: %s" % json.dumps(info["meta"], sort_keys=True))
+    print("on disk: %d bytes" % info["bytes"])
+    return 0
+
+
 def _cmd_info(args):
     with open(args.traces) as handle:
         document = json.load(handle)
@@ -200,6 +220,17 @@ def main(argv=None):
     info.add_argument("--traces", required=True)
     info.add_argument("--top", type=int, default=10)
 
+    tea = commands.add_parser(
+        "tea",
+        help="TEA snapshot utilities (see repro.store)",
+    )
+    tea_commands = tea.add_subparsers(dest="tea_command", required=True)
+    tea_info = tea_commands.add_parser(
+        "info",
+        help="summarize a TEA file (JSON document or binary TEAB snapshot)",
+    )
+    tea_info.add_argument("file", help="path to the TEA file")
+
     metrics = commands.add_parser(
         "metrics",
         help="replay with observability on and dump the metrics snapshot "
@@ -241,6 +272,8 @@ def main(argv=None):
             return _cmd_metrics(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "tea":
+            return _cmd_tea_info(args)
         return _cmd_info(args)
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print("error: %s" % error, file=sys.stderr)

@@ -17,6 +17,7 @@ import json
 
 from repro.errors import SerializationError
 from repro.traces.model import Trace, TraceSet
+from repro.util import atomic_write_json
 
 FORMAT_VERSION = 1
 
@@ -80,9 +81,8 @@ def trace_set_from_json(document, block_index):
 
 
 def save_trace_set(trace_set, path):
-    """Write a trace set to ``path`` as JSON."""
-    with open(path, "w") as handle:
-        json.dump(trace_set_to_json(trace_set), handle)
+    """Write a trace set to ``path`` as JSON, atomically."""
+    atomic_write_json(path, trace_set_to_json(trace_set))
 
 
 def load_trace_set(path, block_index):

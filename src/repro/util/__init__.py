@@ -1,0 +1,21 @@
+"""Small shared utilities used across subsystems.
+
+- :mod:`repro.util.fsio` — crash-safe on-disk writes (temp file +
+  ``os.replace``), the discipline every persistent artifact in this
+  repository follows (harness result cache, trace files, TEA documents,
+  automaton store snapshots, metrics dumps).
+"""
+
+from repro.util.fsio import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+]

@@ -1,0 +1,69 @@
+"""Atomic file writes: temp file in the target directory + ``os.replace``.
+
+Every persistent artifact this repository produces (harness cache
+entries, trace files, TEA documents, binary snapshots, metrics dumps)
+goes through one of these helpers so that a crash — or a concurrent
+reader — can never observe a torn, half-written file.  ``os.replace``
+is atomic on POSIX and Windows as long as source and destination live
+on the same filesystem, which is why the temp file is created *next to*
+the destination rather than in ``/tmp``.
+
+Originally private to ``repro.harness.cache``; extracted here so the
+serialization layers and the automaton store share one discipline.
+"""
+
+import contextlib
+import json
+import os
+import tempfile
+
+
+@contextlib.contextmanager
+def atomic_write(path, mode="w", encoding=None):
+    """Context manager yielding a handle whose contents replace ``path``.
+
+    The handle writes to a hidden temp file in ``path``'s directory
+    (created if missing); on clean exit the temp file is atomically
+    renamed over ``path``.  On any exception the temp file is removed
+    and ``path`` is left untouched.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``).
+    """
+    if "w" not in mode:
+        raise ValueError("atomic_write needs a write mode, got %r" % mode)
+    path = str(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    suffix = os.path.splitext(path)[1] or ".tmp"
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=".tmp-", suffix=suffix, dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, mode, encoding=encoding) as handle:
+            yield handle
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path, data):
+    """Atomically replace ``path`` with ``data`` (bytes)."""
+    with atomic_write(path, "wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path, text, encoding="utf-8"):
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_write(path, "w", encoding=encoding) as handle:
+        handle.write(text)
+
+
+def atomic_write_json(path, document, **dump_kwargs):
+    """Atomically replace ``path`` with ``document`` serialized as JSON."""
+    with atomic_write(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, **dump_kwargs)
+        handle.write("\n")

@@ -151,3 +151,59 @@ def test_cross_environment_replay(tmp_path, nested_program, nested_traces):
     direct_tool = TeaReplayTool(trace_set=nested_traces)
     Pin(nested_program, tool=direct_tool).run()
     assert tool.coverage == pytest.approx(direct_tool.coverage)
+
+
+# ---------------------------------------------------------------------
+# property: JSON and binary snapshots agree (see also tests/test_store.py)
+# ---------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.isa import assemble  # noqa: E402
+from repro.store import dump_tea_binary, load_tea_binary  # noqa: E402
+from tests.conftest import (  # noqa: E402
+    CALL_LOOP_SOURCE,
+    NESTED_DIAMOND_SOURCE,
+    SIMPLE_LOOP_SOURCE,
+)
+
+
+@given(
+    st.sampled_from(
+        [NESTED_DIAMOND_SOURCE, SIMPLE_LOOP_SOURCE, CALL_LOOP_SOURCE]
+    ),
+    st.sampled_from(["mret", "mfet", "tt", "ctt"]),
+    st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=20, deadline=None)
+def test_json_and_binary_round_trips_rebuild_identical_automata(
+        source, strategy, threshold):
+    """For any recorded trace set, both snapshot formats must rebuild
+    an automaton identical to the one Algorithm 1 built in memory."""
+    program = assemble(source)
+    trace_set = record_traces(
+        program, strategy=strategy, hot_threshold=threshold
+    ).trace_set
+    tea = build_tea(trace_set)
+
+    document = json.loads(json.dumps(tea_to_json(trace_set, tea=tea)))
+    via_json_set, via_json_tea, _ = tea_from_json(
+        document, BlockIndex(program)
+    )
+    via_bin_set, via_bin_tea, _ = load_tea_binary(
+        dump_tea_binary(trace_set, tea=tea), BlockIndex(program)
+    )
+
+    for rebuilt_set, rebuilt_tea in (
+        (via_json_set, via_json_tea),
+        (via_bin_set, via_bin_tea),
+    ):
+        assert rebuilt_set.n_tbbs == trace_set.n_tbbs
+        assert rebuilt_set.n_edges == trace_set.n_edges
+        assert rebuilt_tea.n_states == tea.n_states
+        assert rebuilt_tea.n_transitions == tea.n_transitions
+        assert {e: h.sid for e, h in rebuilt_tea.heads.items()} == \
+            {e: h.sid for e, h in tea.heads.items()}
+        for old, new in zip(tea.states, rebuilt_tea.states):
+            assert {label: d.sid for label, d in new.transitions.items()} \
+                == {label: d.sid for label, d in old.transitions.items()}

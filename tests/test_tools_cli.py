@@ -136,3 +136,63 @@ def test_metrics_batched_writes_file(source_file, trace_file, tmp_path,
     batches = [event for event in snapshot["trace"]["events"]
                if event["category"] == "replay.batch"]
     assert batches, "batched replay should emit replay.batch events"
+
+
+def test_tea_info_json_document(source_file, tmp_path, capsys):
+    from repro.cfg.basic_block import BlockIndex
+    from repro.core.serialization import save_tea
+    from repro.isa import assemble
+    from repro.traces import load_trace_set
+
+    program = assemble(open(source_file).read())
+    out = tmp_path / "t.json"
+    assert main(["record", "--source", source_file, "--threshold", "10",
+                 "--out", str(out)]) == 0
+    trace_set = load_trace_set(str(out), BlockIndex(program))
+    tea_path = tmp_path / "tea.json"
+    save_tea(str(tea_path), trace_set)
+    capsys.readouterr()
+
+    code = main(["tea", "info", str(tea_path)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "json format v1" in output
+    assert "profile: absent" in output
+    assert "on disk:" in output
+
+
+def test_tea_info_binary_snapshot(source_file, tmp_path, capsys):
+    from repro.cfg.basic_block import BlockIndex
+    from repro.isa import assemble
+    from repro.store import save_tea_binary
+    from repro.traces import load_trace_set
+
+    program = assemble(open(source_file).read())
+    out = tmp_path / "t.json"
+    assert main(["record", "--source", source_file, "--threshold", "10",
+                 "--out", str(out)]) == 0
+    trace_set = load_trace_set(str(out), BlockIndex(program))
+    snap_path = tmp_path / "snap.teab"
+    save_tea_binary(str(snap_path), trace_set, meta={"label": "cli"})
+    capsys.readouterr()
+
+    code = main(["tea", "info", str(snap_path)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "binary format v1" in output
+    assert "states" in output and "heads" in output
+    assert '"label": "cli"' in output
+
+
+def test_tea_info_missing_file_is_clean_error(tmp_path, capsys):
+    code = main(["tea", "info", str(tmp_path / "missing.teab")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_tea_info_garbage_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"\x00\x01 not a snapshot")
+    code = main(["tea", "info", str(path)])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
