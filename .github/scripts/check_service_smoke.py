@@ -9,9 +9,13 @@ way an operator would run it):
 3. fire >= 32 concurrent client queries (replay / coverage /
    step-batch / snapshot-info) from worker threads and assert every
    one succeeds with consistent results;
-4. assert the ``stats`` RPC counters add up (requests == ok + errors,
+4. replay the same snapshot once with ``engine=compiled`` (the default)
+   and once with ``engine=object`` and assert identical transition
+   accounting and coverage (cycles only up to float tolerance — the
+   Pin block-stub charge interleaves differently between engines);
+5. assert the ``stats`` RPC counters add up (requests == ok + errors,
    per-method counts == what we sent);
-5. SIGTERM the server and assert a clean graceful drain (exit 0,
+6. SIGTERM the server and assert a clean graceful drain (exit 0,
    "drained cleanly" on stdout).
 
 Run from the repository root with PYTHONPATH=src (the harness CI job
@@ -94,6 +98,27 @@ def one_query(port, index):
         return "snapshot-info", None
 
 
+def check_engines_agree(port, sent):
+    """One replay per engine: identical accounting, close cycles."""
+    with ServiceClient("127.0.0.1", port, timeout=120.0) as client:
+        compiled = client.replay(snapshot="smoke", engine="compiled")
+        via_objects = client.replay(snapshot="smoke", engine="object")
+    sent["replay"] += 2
+    if compiled["engine"] != "compiled" or via_objects["engine"] != "object":
+        fail("engine field not echoed: %r / %r"
+             % (compiled["engine"], via_objects["engine"]))
+    if compiled["stats"] != via_objects["stats"]:
+        fail("engines disagree on replay stats:\ncompiled: %r\nobject:   %r"
+             % (compiled["stats"], via_objects["stats"]))
+    if compiled["coverage_pin"] != via_objects["coverage_pin"]:
+        fail("engines disagree on coverage: %r vs %r"
+             % (compiled["coverage_pin"], via_objects["coverage_pin"]))
+    drift = abs(compiled["cycles"] - via_objects["cycles"])
+    if drift > 1e-9 * max(abs(via_objects["cycles"]), 1.0):
+        fail("engine cycle totals drifted: %r vs %r"
+             % (compiled["cycles"], via_objects["cycles"]))
+
+
 def main():
     run_build()
     server, port = start_server()
@@ -113,6 +138,8 @@ def main():
             fail("expected %d results, got %d" % (N_CLIENTS, len(outcomes)))
         if len(coverages) != 1:
             fail("replay/coverage disagree across clients: %r" % coverages)
+
+        check_engines_agree(port, sent)
 
         with ServiceClient("127.0.0.1", port, timeout=60.0) as client:
             stats = client.stats()

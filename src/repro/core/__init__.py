@@ -27,6 +27,7 @@ Package contents:
 
 from repro.core.automaton import NTE_SID, TEA, TeaState
 from repro.core.builder import build_tea, sync_trace
+from repro.core.compiled import CompiledReplayer, CompiledTea
 from repro.core.directory import (
     BPlusTreeDirectory,
     LinkedListDirectory,
@@ -55,6 +56,8 @@ __all__ = [
     "make_directory",
     "ReplayConfig",
     "TeaReplayer",
+    "CompiledTea",
+    "CompiledReplayer",
     "OnlineTeaRecorder",
     "MemoryModel",
     "TeaProfile",

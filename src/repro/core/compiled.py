@@ -1,0 +1,504 @@
+"""The compiled flat-table replay engine.
+
+:class:`~repro.core.replay.TeaReplayer` walks the automaton as an
+object graph: per-transition :class:`~repro.cfg.builder.BlockTransition`
+objects, per-state ``TeaState`` attribute chasing, per-state transition
+dicts holding state *objects*.  That is fine for correctness work, but
+Table 4 says the transition function is the replay hot path — so this
+module lowers the automaton the way a real DBT lowers its dispatch
+tables: into contiguous integer arrays, indexed by state id.
+
+:class:`CompiledTea` holds the lowered automaton:
+
+- ``labels`` / ``label_ids`` — the global PC-label intern table: every
+  distinct transition label and head entry, as a sorted ``array('q')``
+  plus the reverse ``{pc: label_index}`` dict;
+- ``trans_offset`` / ``trans_labels`` / ``trans_dest`` — every state's
+  transition list flattened into one successor array; state ``sid``
+  owns the slice ``[trans_offset[sid], trans_offset[sid + 1])``, sorted
+  by label (the exact order the TEAB codec stores);
+- ``head_entries`` / ``head_sids`` — the packed NTE head registry, in
+  the source automaton's registration order (directory *insertion
+  order* shapes the probe-unit accounting — linked-list scan lengths,
+  B+ tree node layout, hash clustering — so it must be preserved, not
+  normalised);
+- ``tbb_flag`` / ``instrs_dbt`` / ``instrs_pin`` — parallel per-state
+  metadata: in-trace flag plus the state's *static* instruction counts
+  (advisory; zero when lowered straight from a TEAB snapshot, which
+  does not store them).
+
+:class:`CompiledReplayer` drives those tables over **packed transition
+batches** — flat ``(next_start, instrs_dbt, instrs_pin)`` int triples
+(see :mod:`repro.pin.packed`) — instead of transition objects, with
+accounting identical to ``TeaReplayer``: the same ``replay.*``
+counters, the same CostModel charges in the same order, the same
+local-cache/directory semantics on side exits.  The differential suite
+in ``tests/test_compiled_engine.py`` pins that equivalence down.
+
+``CompiledTea`` instances are immutable after construction and safe to
+share read-only across threads (the replay service preloads one per
+snapshot); each :class:`CompiledReplayer` owns its own mutable caches,
+directory and stats, exactly like ``TeaReplayer``.
+"""
+
+from array import array
+
+from repro.core.automaton import NTE_SID
+from repro.core.directory import DIRECTORY_COST_PARAM, make_directory
+from repro.core.replay import ReplayConfig, ReplayStats
+from repro.dbt.cost import CostModel
+from repro.obs import Observability
+from repro.structures.lru import MISS, DirectMappedCache, LRUCache
+
+#: ``next_start`` value marking an end-of-run transition in a packed
+#: stream (``BlockTransition.next_start is None``).  Real PCs are
+#: non-negative, so any negative value is terminal.
+END_OF_RUN = -1
+
+
+class CompiledTea:
+    """A TEA lowered into contiguous integer tables (see module doc)."""
+
+    __slots__ = ("n_states", "labels", "label_ids", "tbb_flag",
+                 "trans_offset", "trans_labels", "trans_dest",
+                 "head_entries", "head_sids", "_head_map",
+                 "instrs_dbt", "instrs_pin", "_succ")
+
+    def __init__(self, n_states, tbb_flag, trans_offset, trans_labels,
+                 trans_dest, head_entries, head_sids,
+                 instrs_dbt=None, instrs_pin=None):
+        self.n_states = n_states
+        self.tbb_flag = bytes(tbb_flag)
+        self.trans_offset = array("q", trans_offset)
+        self.trans_labels = array("q", trans_labels)
+        self.trans_dest = array("q", trans_dest)
+        self.head_entries = array("q", head_entries)
+        self.head_sids = array("q", head_sids)
+        self.instrs_dbt = array(
+            "q", instrs_dbt if instrs_dbt is not None else [0] * n_states
+        )
+        self.instrs_pin = array(
+            "q", instrs_pin if instrs_pin is not None else [0] * n_states
+        )
+        self._head_map = dict(zip(self.head_entries, self.head_sids))
+        # Global PC intern table: every label seen anywhere in the
+        # automaton (transitions + heads), sorted, deduplicated.
+        distinct = sorted(set(self.trans_labels) | set(self.head_entries))
+        self.labels = array("q", distinct)
+        self.label_ids = {pc: lid for lid, pc in enumerate(distinct)}
+        self._succ = None
+        self._validate()
+
+    def _validate(self):
+        n_states = self.n_states
+        if n_states < 1:
+            raise ValueError("compiled TEA needs at least the NTE state")
+        if len(self.tbb_flag) != n_states:
+            raise ValueError("tbb_flag length != n_states")
+        if self.tbb_flag[NTE_SID]:
+            raise ValueError("NTE must not be flagged in-trace")
+        if len(self.trans_offset) != n_states + 1:
+            raise ValueError("trans_offset must have n_states + 1 entries")
+        if self.trans_offset[0] != 0:
+            raise ValueError("trans_offset must start at 0")
+        if self.trans_offset[-1] != len(self.trans_labels):
+            raise ValueError("trans_offset must end at len(trans_labels)")
+        if len(self.trans_labels) != len(self.trans_dest):
+            raise ValueError("trans_labels/trans_dest length mismatch")
+        if len(self.head_entries) != len(self.head_sids):
+            raise ValueError("head_entries/head_sids length mismatch")
+        for sid in self.trans_dest:
+            if not 0 <= sid < n_states:
+                raise ValueError("transition to unknown state %d" % sid)
+        for sid in self.head_sids:
+            if not 0 < sid < n_states:
+                raise ValueError("head refers to unknown state %d" % sid)
+        if len(self._head_map) != len(self.head_entries):
+            raise ValueError("duplicate head entry address")
+        if len(self.instrs_dbt) != n_states or len(self.instrs_pin) != n_states:
+            raise ValueError("metadata arrays must have n_states entries")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tea(cls, tea):
+        """Lower a built :class:`~repro.core.automaton.TEA`."""
+        n_states = tea.n_states
+        tbb_flag = bytearray(n_states)
+        instrs_dbt = array("q", [0] * n_states)
+        instrs_pin = array("q", [0] * n_states)
+        trans_offset = array("q", [0] * (n_states + 1))
+        trans_labels = array("q")
+        trans_dest = array("q")
+        for state in tea.states:
+            sid = state.sid
+            for label, destination in sorted(state.transitions.items()):
+                trans_labels.append(label)
+                trans_dest.append(destination.sid)
+            trans_offset[sid + 1] = len(trans_labels)
+            if state.tbb is not None:
+                tbb_flag[sid] = 1
+                n_instrs = state.tbb.block.n_instrs
+                instrs_dbt[sid] = n_instrs
+                instrs_pin[sid] = n_instrs
+        # Registration order, NOT sorted: the replayer inserts heads
+        # into its lookup directory in this order, and probe-unit
+        # accounting (list scans, tree shape, hash clustering) depends
+        # on it.  A TEAB snapshot stores heads sorted by entry — and the
+        # object TEA loaded from that snapshot carries the same sorted
+        # dict order, so the engines still agree there.
+        head_entries = array("q")
+        head_sids = array("q")
+        for entry, head in tea.heads.items():
+            head_entries.append(entry)
+            head_sids.append(head.sid)
+        return cls(n_states, tbb_flag, trans_offset, trans_labels,
+                   trans_dest, head_entries, head_sids,
+                   instrs_dbt=instrs_dbt, instrs_pin=instrs_pin)
+
+    # ------------------------------------------------------------------
+    # interrogation
+    # ------------------------------------------------------------------
+
+    @property
+    def n_transitions(self):
+        return len(self.trans_labels)
+
+    @property
+    def n_heads(self):
+        return len(self.head_entries)
+
+    @property
+    def n_labels(self):
+        return len(self.labels)
+
+    def successor_maps(self):
+        """Per-state ``{next_pc: dest_sid}`` dispatch dicts, by sid.
+
+        Built lazily from the canonical flat arrays and cached on the
+        compiled automaton, so every replayer sharing it (the service
+        worker pool) reuses one set of read-only dicts.  States with no
+        transitions share a single empty dict.
+        """
+        maps = self._succ
+        if maps is None:
+            offsets = self.trans_offset
+            trans_labels = self.trans_labels
+            trans_dest = self.trans_dest
+            empty = {}
+            maps = []
+            for sid in range(self.n_states):
+                low, high = offsets[sid], offsets[sid + 1]
+                if low == high:
+                    maps.append(empty)
+                else:
+                    maps.append(dict(zip(trans_labels[low:high],
+                                         trans_dest[low:high])))
+            self._succ = maps
+        return maps
+
+    def head_sid(self, entry):
+        """The head state id registered at ``entry``, or ``None``."""
+        return self._head_map.get(entry)
+
+    def next_sid(self, sid, label):
+        """Pure transition function over the tables (mirrors
+        :meth:`~repro.core.automaton.TEA.next_state`)."""
+        destination = self.successor_maps()[sid].get(label)
+        if destination is not None:
+            return destination
+        head = self.head_sid(label)
+        return head if head is not None else NTE_SID
+
+    def structurally_equal(self, other):
+        """True when both lowerings encode the same automaton *shape*.
+
+        The per-state instruction metadata is deliberately excluded:
+        TEAB snapshots do not store it, so a snapshot-compiled automaton
+        carries zeros where a ``from_tea`` lowering carries real counts.
+        Heads are compared as a mapping — their array *order* is
+        directory-insertion provenance, not automaton shape.
+        """
+        return (
+            self.n_states == other.n_states
+            and self.tbb_flag == other.tbb_flag
+            and self.trans_offset == other.trans_offset
+            and self.trans_labels == other.trans_labels
+            and self.trans_dest == other.trans_dest
+            and self._head_map == other._head_map
+            and self.labels == other.labels
+        )
+
+    def describe(self):
+        """JSON-able structural summary (mirrors TEA interrogation)."""
+        return {
+            "states": self.n_states,
+            "in_trace_states": sum(self.tbb_flag),
+            "transitions": self.n_transitions,
+            "heads": self.n_heads,
+            "labels": self.n_labels,
+            "static_instrs_dbt": sum(self.instrs_dbt),
+            "static_instrs_pin": sum(self.instrs_pin),
+        }
+
+    def __repr__(self):
+        return "<CompiledTea states=%d transitions=%d heads=%d labels=%d>" % (
+            self.n_states, self.n_transitions, self.n_heads, self.n_labels,
+        )
+
+
+class CompiledReplayer:
+    """Drives a :class:`CompiledTea` over packed transition batches.
+
+    The API mirrors :class:`~repro.core.replay.TeaReplayer` — same
+    constructor knobs, same ``stats``/``cost``/``directory``/``snapshot``
+    surface — except the current state is the integer :attr:`sid` and
+    :meth:`run` consumes packed int triples rather than transition
+    objects (:func:`repro.pin.packed.pack_transitions` produces them).
+
+    Directory and local-cache values are integer state ids, so the slow
+    path allocates nothing per event.
+    """
+
+    def __init__(self, compiled, config=None, cost=None, obs=None):
+        self.compiled = compiled
+        self.config = config or ReplayConfig.global_local()
+        self.cost = cost if cost is not None else CostModel()
+        self.obs = obs if obs is not None else Observability()
+        self.stats = ReplayStats(metrics=self.obs.metrics)
+        self.sid = NTE_SID
+        self.directory = make_directory(
+            self.config.global_index, order=self.config.bptree_order
+        )
+        for entry, head_sid in zip(compiled.head_entries,
+                                   compiled.head_sids):
+            self.directory.insert(entry, head_sid)
+        self._caches = {}
+        self._succ = compiled.successor_maps()
+        # Pre-bound per-state dispatch (one dict.get per sid) saves an
+        # attribute lookup on every hot-path transition.
+        self._succ_get = [mapping.get for mapping in self._succ]
+
+    # ------------------------------------------------------------------
+
+    def register_trace(self, entry, head_sid):
+        """Make a newly known trace findable (parity with TeaReplayer)."""
+        self.directory.insert(entry, head_sid)
+
+    # ------------------------------------------------------------------
+
+    def run(self, packed):
+        """Consume one packed batch; returns the final state id.
+
+        ``packed`` is any flat int sequence of ``(next_start,
+        instrs_dbt, instrs_pin)`` triples (``array('q')`` from the
+        packed-stream encoder, or a plain list).  A negative
+        ``next_start`` (:data:`END_OF_RUN`) accounts the block but takes
+        no transition, exactly like a ``next_start=None`` object.
+
+        Accounting matches :meth:`TeaReplayer.run` with *every* charge
+        deferred to the batch boundary — the object engine defers only
+        the hot-path charges and applies cache/directory/enter charges
+        per event, but every replay charge constant is an integral
+        float, so summing them in a different association is still
+        bit-exact (exact double arithmetic below 2**53).  One more
+        deliberate difference: block/instruction totals are summed at C
+        speed up front, so if an exception escapes mid-batch the whole
+        batch's totals are still flushed (batch-atomic, vs. the object
+        engine's partial-progress flush) — the automaton walk itself
+        cannot raise, so this only shows under injected faults.
+        """
+        length = len(packed)
+        if length % 3:
+            raise ValueError(
+                "packed batch length %d is not a multiple of 3" % length
+            )
+        counters = self.stats._counters
+        cost = self.cost
+        params = cost.params
+        succ_get = self._succ_get
+        tbb_flag = self.compiled.tbb_flag
+        sid = self.sid
+
+        # Slow-path collaborators, hoisted out of the walk loop.
+        config = self.config
+        use_cache = config.local_cache
+        cache_size = config.cache_size
+        is_lru = config.cache_kind != "direct"
+        cache_ctor = LRUCache if is_lru else DirectMappedCache
+        caches = self._caches
+        caches_get = caches.get
+        lookup = self.directory.lookup
+        per_unit = getattr(params, DIRECTORY_COST_PARAM[self.directory.kind])
+
+        blocks = length // 3
+        # The per-lane work is done at C speed: one boxed int per block
+        # in the walk loop (the next PC), totals via sum() over the
+        # instruction lanes.  Coverage is total minus the instructions
+        # of out-of-trace blocks, accumulated only on the (rare) NTE
+        # path — all integer arithmetic, so the counters are exact.
+        starts = list(packed[0::3])
+        total_dbt = sum(packed[1::3])
+        total_pin = sum(packed[2::3])
+        uncovered_dbt = 0
+        uncovered_pin = 0
+        fast_hits = 0
+        trace_exits = 0
+        nte_probes = 0
+        cache_hits = 0
+        cache_misses = 0
+        cache_inserts = 0
+        directory_hits = 0
+        directory_misses = 0
+        directory_units = 0
+
+        try:
+            for index, next_start in enumerate(starts):
+                if tbb_flag[sid]:
+                    if next_start >= 0:
+                        destination = succ_get[sid](next_start)
+                        if destination is not None:
+                            fast_hits += 1
+                            sid = destination
+                            continue
+                        # Side exit: local cache, then directory.  The
+                        # LRU probe is inlined (dict get + move_to_end)
+                        # — the cache object's own hit/miss counters are
+                        # still maintained so snapshot() gauges match.
+                        trace_exits += 1
+                        cache = None
+                        if use_cache:
+                            cache = caches_get(sid)
+                            if cache is None:
+                                cache = cache_ctor(cache_size)
+                                caches[sid] = cache
+                            if is_lru:
+                                entries = cache._entries
+                                found = entries.get(next_start, MISS)
+                                if found is not MISS:
+                                    entries.move_to_end(next_start)
+                                    cache.hits += 1
+                                    cache_hits += 1
+                                    sid = found
+                                    continue
+                                cache.misses += 1
+                            else:
+                                found = cache.probe(next_start)
+                                if found is not MISS:
+                                    cache_hits += 1
+                                    sid = found
+                                    continue
+                            cache_misses += 1
+                        found, units = lookup(next_start)
+                        directory_units += units
+                        if found is None:
+                            directory_misses += 1
+                            sid = NTE_SID
+                        else:
+                            directory_hits += 1
+                            sid = found
+                            if cache is not None:
+                                cache.insert(next_start, found)
+                                cache_inserts += 1
+                else:
+                    base = 3 * index
+                    uncovered_dbt += packed[base + 1]
+                    uncovered_pin += packed[base + 2]
+                    if next_start >= 0:
+                        nte_probes += 1
+                        found, units = lookup(next_start)
+                        directory_units += units
+                        if found is None:
+                            directory_misses += 1
+                            sid = NTE_SID
+                        else:
+                            directory_hits += 1
+                            sid = found
+        finally:
+            # Batch-boundary flush: counters first, then every deferred
+            # cycle charge (see the docstring for why batching the
+            # slow-path charges is still bit-exact).
+            self.sid = sid
+            counters["blocks"].value += blocks
+            counters["total_dbt"].value += total_dbt
+            counters["total_pin"].value += total_pin
+            counters["covered_dbt"].value += total_dbt - uncovered_dbt
+            counters["covered_pin"].value += total_pin - uncovered_pin
+            counters["in_trace_hits"].value += fast_hits
+            counters["trace_exits"].value += trace_exits
+            counters["nte_probes"].value += nte_probes
+            counters["cache_hits"].value += cache_hits
+            counters["cache_misses"].value += cache_misses
+            counters["directory_hits"].value += directory_hits
+            counters["directory_misses"].value += directory_misses
+            counters["trace_enters"].value += cache_hits + directory_hits
+            if fast_hits:
+                cost.charge("callback", fast_hits * params.CALLBACK_FAST)
+                cost.charge("transition",
+                            fast_hits * params.IN_TRACE_TRANSITION)
+            slow_calls = trace_exits + nte_probes
+            if slow_calls:
+                cost.charge("callback", slow_calls * params.CALLBACK_SLOW)
+            if cache_hits or cache_misses or cache_inserts:
+                cost.charge(
+                    "cache",
+                    cache_hits * params.CACHE_HIT
+                    + cache_misses * params.CACHE_MISS
+                    + cache_inserts * params.CACHE_INSERT,
+                )
+            if trace_exits + nte_probes > cache_hits:
+                # At least one directory lookup happened.
+                cost.charge("directory", directory_units * per_unit)
+            if directory_hits:
+                cost.charge("enter", directory_hits * params.ENTER_TRACE)
+            self.obs.emit(
+                "replay.batch",
+                blocks=blocks,
+                in_trace_hits=fast_hits,
+                trace_exits=trace_exits,
+                nte_probes=nte_probes,
+            )
+        return sid
+
+    # ------------------------------------------------------------------
+
+    def coverage(self, pin_counting=True):
+        return self.stats.coverage(pin_counting=pin_counting)
+
+    def snapshot(self):
+        """Observability snapshot (same gauges as TeaReplayer, plus the
+        ``replay.engine`` marker)."""
+        metrics = self.obs.metrics
+        directory = self.directory
+        metrics.set_gauge("replay.engine", "compiled")
+        metrics.set_gauge("replay.config", self.config.describe())
+        metrics.set_gauge("replay.directory.kind", directory.kind)
+        metrics.set_gauge("replay.directory.size", len(directory))
+        metrics.set_gauge("replay.directory.probes", directory.probes)
+        metrics.set_gauge("replay.directory.units", directory.units)
+        metrics.set_gauge("replay.local_caches", len(self._caches))
+        metrics.set_gauge(
+            "replay.local_cache_hits",
+            sum(cache.hits for cache in self._caches.values()),
+        )
+        metrics.set_gauge(
+            "replay.local_cache_misses",
+            sum(cache.misses for cache in self._caches.values()),
+        )
+        snap = self.obs.snapshot()
+        snap["cost"] = {
+            "cycles": self.cost.cycles,
+            "breakdown": dict(self.cost.breakdown),
+        }
+        return snap
+
+    def reset(self, clear_caches=True):
+        """Return to NTE; by default also drop per-state caches and
+        zero the directory probe/unit counters (see
+        :meth:`TeaReplayer.reset`)."""
+        self.sid = NTE_SID
+        if clear_caches:
+            self._caches.clear()
+            self.directory.reset_counters()

@@ -37,6 +37,11 @@ class LinkedListDirectory:
         """Uniform work counter (elements scanned) for observability."""
         return self.elements_scanned
 
+    def reset_counters(self):
+        """Zero the probe/work counters (contents are kept)."""
+        self.probes = 0
+        self.elements_scanned = 0
+
     def insert(self, addr, state):
         for position, (existing, _value) in enumerate(self._entries):
             if existing == addr:
@@ -74,6 +79,11 @@ class BPlusTreeDirectory:
     def units(self):
         """Uniform work counter (nodes visited) for observability."""
         return self.nodes_visited
+
+    def reset_counters(self):
+        """Zero the probe/work counters (contents are kept)."""
+        self.probes = 0
+        self.nodes_visited = 0
 
     def insert(self, addr, state):
         self._tree.insert(addr, state)
@@ -126,6 +136,11 @@ class HashDirectory:
     @property
     def capacity(self):
         return len(self._keys)
+
+    def reset_counters(self):
+        """Zero the probe/work counters (contents are kept)."""
+        self.probes = 0
+        self.slots_probed = 0
 
     def _find_slot(self, keys, addr):
         mask = len(keys) - 1
@@ -188,6 +203,11 @@ class SortedArrayDirectory:
 
     def __len__(self):
         return len(self._addrs)
+
+    def reset_counters(self):
+        """Zero the probe/work counters (contents are kept)."""
+        self.probes = 0
+        self.comparisons = 0
 
     def insert(self, addr, state):
         import bisect

@@ -50,6 +50,11 @@ GLOBAL_INDEX_LABELS = {
     "sorted": "Global (Sorted)",
 }
 
+#: Replay engines a config can select: the object-graph walker
+#: (:class:`TeaReplayer`) or the flat-table compiled engine
+#: (:class:`~repro.core.compiled.CompiledReplayer`).
+REPLAY_ENGINES = ("object", "compiled")
+
 
 class ReplayConfig:
     """Transition-function configuration (the Table 4 axes).
@@ -59,14 +64,19 @@ class ReplayConfig:
     structures ``"hash"`` and ``"sorted"``.
     ``local_cache``: enable the per-state cache.
     ``cache_kind``: ``"direct"`` (direct-mapped) or ``"lru"``.
-    ``cache_size``: entries per state cache.
+    ``cache_size``: entries per state cache (>= 1).
+    ``bptree_order``: B+ tree fan-out (>= 3, the tree's own minimum).
+    ``engine``: ``"object"`` (TeaReplayer) or ``"compiled"``
+    (CompiledReplayer over packed transition streams) — identical
+    accounting, different dispatch machinery.
     """
 
     __slots__ = ("global_index", "local_cache", "cache_kind", "cache_size",
-                 "bptree_order")
+                 "bptree_order", "engine")
 
     def __init__(self, global_index="bptree", local_cache=True,
-                 cache_kind="direct", cache_size=16, bptree_order=16):
+                 cache_kind="direct", cache_size=16, bptree_order=16,
+                 engine="object"):
         if global_index not in GLOBAL_INDEX_LABELS:
             raise ValueError(
                 "global_index must be one of 'bptree', 'list', 'hash', "
@@ -74,29 +84,49 @@ class ReplayConfig:
             )
         if cache_kind not in ("direct", "lru"):
             raise ValueError("cache_kind must be 'direct' or 'lru'")
+        # Validate the structure-sizing knobs here, where the caller can
+        # see them, instead of letting DirectMappedCache/LRUCache or the
+        # B+ tree raise deep inside the replay hot path on first use.
+        if not isinstance(cache_size, int) or cache_size < 1:
+            raise ValueError(
+                "cache_size must be a positive integer (got %r); the "
+                "per-state local caches need at least one slot" % (cache_size,)
+            )
+        if not isinstance(bptree_order, int) or bptree_order < 3:
+            raise ValueError(
+                "bptree_order must be an integer >= 3 (got %r); a B+ tree "
+                "node cannot hold fewer than two keys" % (bptree_order,)
+            )
+        if engine not in REPLAY_ENGINES:
+            raise ValueError(
+                "engine must be one of %s" % ", ".join(
+                    repr(name) for name in REPLAY_ENGINES
+                )
+            )
         self.global_index = global_index
         self.local_cache = local_cache
         self.cache_kind = cache_kind
         self.cache_size = cache_size
         self.bptree_order = bptree_order
+        self.engine = engine
 
     @classmethod
-    def global_local(cls):
+    def global_local(cls, engine="object"):
         """The paper's best configuration (B+ tree + local cache)."""
-        return cls(global_index="bptree", local_cache=True)
+        return cls(global_index="bptree", local_cache=True, engine=engine)
 
     @classmethod
-    def global_no_local(cls):
-        return cls(global_index="bptree", local_cache=False)
+    def global_no_local(cls, engine="object"):
+        return cls(global_index="bptree", local_cache=False, engine=engine)
 
     @classmethod
-    def no_global_local(cls):
-        return cls(global_index="list", local_cache=True)
+    def no_global_local(cls, engine="object"):
+        return cls(global_index="list", local_cache=True, engine=engine)
 
     @classmethod
-    def no_global_no_local(cls):
+    def no_global_no_local(cls, engine="object"):
         """The configuration the paper could not even measure (>100x)."""
-        return cls(global_index="list", local_cache=False)
+        return cls(global_index="list", local_cache=False, engine=engine)
 
     def describe(self):
         global_name = GLOBAL_INDEX_LABELS[self.global_index]
@@ -457,6 +487,18 @@ class TeaReplayer:
         }
         return snap
 
-    def reset(self):
-        """Return to NTE (e.g. between program runs on one automaton)."""
+    def reset(self, clear_caches=True):
+        """Return to NTE (e.g. between program runs on one automaton).
+
+        Historically this reset only ``state``, so a reused replayer
+        leaked the previous run's per-state local caches (stale hit/miss
+        counters *and* stale cached destinations) and the directory's
+        probe/unit work counters into the next run's accounting.  By
+        default both are now cleared; pass ``clear_caches=False`` for
+        the old state-only behaviour when warm caches across runs are
+        actually wanted.
+        """
         self.state = self.tea.nte
+        if clear_caches:
+            self._caches.clear()
+            self.directory.reset_counters()

@@ -52,6 +52,12 @@ def _parse_args(argv):
         help="hot threshold for trace selection (default 30)",
     )
     parser.add_argument(
+        "--engine", choices=("object", "compiled"), default="object",
+        help="replay engine for the TEA replay stages: 'object' walks "
+             "the TeaState graph, 'compiled' drives the flat-table "
+             "engine over packed transition streams (default object)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes; > 1 shards benchmarks across a "
              "multiprocessing pool (default 1 = serial)",
@@ -115,6 +121,7 @@ def main(argv=None):
         scale=args.scale,
         hot_threshold=args.threshold,
         benchmarks=benchmarks,
+        engine=args.engine,
     )
     progress = None
     if not args.quiet:

@@ -28,6 +28,7 @@ fraction of the run, as in the paper.
 """
 
 from repro.core import MemoryModel, ReplayConfig
+from repro.core.replay import REPLAY_ENGINES
 from repro.dbt import StarDBT
 from repro.harness.cache import stage_key
 from repro.obs import Observability
@@ -63,12 +64,23 @@ class HarnessConfig:
     """Harness-wide knobs."""
 
     def __init__(self, scale=4.0, hot_threshold=30, benchmarks=None,
-                 memory_model=None, max_instructions=50_000_000):
+                 memory_model=None, max_instructions=50_000_000,
+                 engine="object"):
+        if engine not in REPLAY_ENGINES:
+            raise ValueError(
+                "engine must be one of %s" % ", ".join(
+                    repr(name) for name in REPLAY_ENGINES
+                )
+            )
         self.scale = scale
         self.hot_threshold = hot_threshold
         self.benchmarks = list(benchmarks) if benchmarks else list(BENCHMARKS)
         self.memory_model = memory_model or MemoryModel()
         self.max_instructions = max_instructions
+        #: Which replay engine the TEA replay stages drive
+        #: (``"object"`` = TeaReplayer, ``"compiled"`` = the flat-table
+        #: CompiledReplayer over packed transition streams).
+        self.engine = engine
 
     def limits(self):
         return RecorderLimits(hot_threshold=self.hot_threshold)
@@ -244,7 +256,7 @@ class Runner(SummaryProvider):
         if found is None:
             self._log("%s: TEA empty" % name)
             program = self.workload(name).program
-            tool = TeaReplayTool(trace_set=None)
+            tool = TeaReplayTool(trace_set=None, engine=self.config.engine)
             with timer:
                 result = Pin(
                     program,
@@ -265,7 +277,8 @@ class Runner(SummaryProvider):
             trace_set = self.dbt(name, "mret").trace_set
             program = self.workload(name).program
             tool = TeaReplayTool(
-                trace_set=trace_set, config=REPLAY_CONFIGS[config_key]()
+                trace_set=trace_set, config=REPLAY_CONFIGS[config_key](),
+                engine=self.config.engine,
             )
             with timer:
                 result = Pin(

@@ -17,6 +17,11 @@ The TEA pintools of the paper's experiments live in
 :mod:`repro.pin.tea_tool`.
 """
 
+from repro.pin.packed import (
+    DEFAULT_PACKED_BATCH,
+    PackedTransitionEncoder,
+    pack_transitions,
+)
 from repro.pin.pin import Pin, PinResult, run_native
 from repro.pin.pintool import CallbackTool, MultiTool, Pintool
 from repro.pin.tea_tool import TeaRecordTool, TeaReplayTool
@@ -30,4 +35,7 @@ __all__ = [
     "MultiTool",
     "TeaReplayTool",
     "TeaRecordTool",
+    "pack_transitions",
+    "PackedTransitionEncoder",
+    "DEFAULT_PACKED_BATCH",
 ]

@@ -1,0 +1,85 @@
+"""Packed transition streams for the compiled replay engine.
+
+The Pin engine delivers one :class:`~repro.cfg.builder.BlockTransition`
+object per executed block.  The compiled engine
+(:class:`~repro.core.compiled.CompiledReplayer`) does not want objects —
+it wants flat integers.  This module is the bridge: it packs transition
+objects into ``array('q')`` batches of ``(next_start, instrs_dbt,
+instrs_pin)`` triples, with a terminal transition's ``next_start=None``
+encoded as :data:`~repro.core.compiled.END_OF_RUN` (-1; real PCs are
+non-negative).
+
+Two entry points:
+
+- :func:`pack_transitions` — one-shot packing of a whole stream, for
+  benchmarks and tests that pre-capture transitions;
+- :class:`PackedTransitionEncoder` — incremental packing with batch
+  hand-off, what :class:`~repro.pin.tea_tool.TeaReplayTool` uses on the
+  live callback path: ``add()`` returns a full batch when one is ready,
+  ``flush()`` drains the remainder at end of run.
+"""
+
+from array import array
+
+from repro.core.compiled import END_OF_RUN
+
+#: Triples per batch handed to ``CompiledReplayer.run()`` when no
+#: explicit batch size is configured.
+DEFAULT_PACKED_BATCH = 4096
+
+
+def pack_transitions(transitions):
+    """Pack an iterable of block transitions into one flat ``array('q')``.
+
+    The result holds ``3 * len(transitions)`` ints — consume it with
+    :meth:`CompiledReplayer.run`.
+    """
+    packed = array("q")
+    append = packed.append
+    for transition in transitions:
+        next_start = transition.next_start
+        append(END_OF_RUN if next_start is None else next_start)
+        append(transition.instrs_dbt)
+        append(transition.instrs_pin)
+    return packed
+
+
+class PackedTransitionEncoder:
+    """Incremental transition packer with fixed-size batch hand-off.
+
+    ``batch_size`` counts *transitions* (triples), not ints.  Each full
+    batch is returned exactly once from :meth:`add` and a fresh buffer
+    is started, so the consumer may keep or discard the array freely.
+    """
+
+    __slots__ = ("batch_size", "_buffer")
+
+    def __init__(self, batch_size=DEFAULT_PACKED_BATCH):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._buffer = array("q")
+
+    def __len__(self):
+        """Transitions currently buffered (not yet handed off)."""
+        return len(self._buffer) // 3
+
+    def add(self, transition):
+        """Buffer one transition; returns a full batch or ``None``."""
+        buffer = self._buffer
+        next_start = transition.next_start
+        buffer.append(END_OF_RUN if next_start is None else next_start)
+        buffer.append(transition.instrs_dbt)
+        buffer.append(transition.instrs_pin)
+        if len(buffer) >= 3 * self.batch_size:
+            self._buffer = array("q")
+            return buffer
+        return None
+
+    def flush(self):
+        """Hand off whatever is buffered; returns ``None`` when empty."""
+        buffer = self._buffer
+        if not buffer:
+            return None
+        self._buffer = array("q")
+        return buffer

@@ -13,8 +13,10 @@ execution."  That pintool is these two classes:
 """
 
 from repro.core.builder import build_tea
+from repro.core.compiled import CompiledReplayer, CompiledTea
 from repro.core.online import OnlineTeaRecorder
-from repro.core.replay import ReplayConfig, TeaReplayer
+from repro.core.replay import REPLAY_ENGINES, ReplayConfig, TeaReplayer
+from repro.pin.packed import DEFAULT_PACKED_BATCH, PackedTransitionEncoder
 from repro.pin.pintool import Pintool
 from repro.traces import make_recorder
 from repro.traces.model import TraceSet
@@ -31,7 +33,9 @@ class TeaReplayTool(Pintool):
     config:
         The transition-function configuration (Table 4 axes).
     profile:
-        Optional :class:`~repro.core.profile.TeaProfile` to fill.
+        Optional :class:`~repro.core.profile.TeaProfile` to fill
+        (object engine only — the compiled engine consumes packed int
+        streams, which carry no per-transition objects to profile).
     link_traces:
         Materialise statically known trace-to-trace transitions in the
         automaton (ablation; the paper resolves them dynamically).
@@ -41,40 +45,82 @@ class TeaReplayTool(Pintool):
         used so the whole run reports into one registry.
     batch_size:
         When set (> 0), transitions are buffered and fed to the batched
-        :meth:`~repro.core.replay.TeaReplayer.run` engine in chunks of
-        this size instead of per-call :meth:`step` — same accounting,
-        lower interpreter overhead.  ``None`` (default) keeps exact
-        per-call behaviour (bit-identical float charge ordering).
+        engine in chunks of this size instead of per-call :meth:`step` —
+        same accounting, lower interpreter overhead.  ``None`` (default)
+        keeps exact per-call behaviour for the object engine
+        (bit-identical float charge ordering); the compiled engine is
+        batch-only and defaults to
+        :data:`~repro.pin.packed.DEFAULT_PACKED_BATCH`.
     tea:
         A prebuilt automaton to replay.  When given, Algorithm 1 is
         *not* re-run — this is how the replay service drives automata
         loaded from binary store snapshots (``link_traces`` is ignored;
         the snapshot already fixed the transition tables).
+    engine:
+        ``"object"`` or ``"compiled"``; defaults to ``config.engine``.
+        The compiled engine packs transitions into flat int batches and
+        drives :class:`~repro.core.compiled.CompiledReplayer`.
+    compiled:
+        A prebuilt :class:`~repro.core.compiled.CompiledTea` (e.g. from
+        :func:`repro.store.compile_tea_binary`).  Lowered from ``tea``
+        on attach when omitted and the compiled engine is selected.
     """
 
     def __init__(self, trace_set=None, config=None, profile=None,
-                 link_traces=False, obs=None, batch_size=None, tea=None):
+                 link_traces=False, obs=None, batch_size=None, tea=None,
+                 engine=None, compiled=None):
         super().__init__()
         self.trace_set = trace_set if trace_set is not None else TraceSet()
         self.config = config or ReplayConfig.global_local()
+        self.engine = engine if engine is not None else self.config.engine
+        if self.engine not in REPLAY_ENGINES:
+            raise ValueError(
+                "engine must be one of %s" % ", ".join(
+                    repr(name) for name in REPLAY_ENGINES
+                )
+            )
+        if profile is not None and self.engine == "compiled":
+            raise ValueError(
+                "the compiled engine cannot fill a TeaProfile (it replays "
+                "packed int streams, not transition objects); use "
+                "engine='object' for profiling runs"
+            )
         self.profile = profile
         self.obs = obs
         self.batch_size = batch_size if batch_size and batch_size > 0 else None
         self._buffer = []
+        self._encoder = None
         self.tea = tea if tea is not None else build_tea(
             self.trace_set, link_traces=link_traces
         )
+        self.compiled = compiled
         self.replayer = None
 
     def attach(self, pin):
         super().attach(pin)
         obs = self.obs if self.obs is not None else pin.obs
+        if self.engine == "compiled":
+            if self.compiled is None:
+                self.compiled = CompiledTea.from_tea(self.tea)
+            self.replayer = CompiledReplayer(
+                self.compiled, config=self.config, cost=pin.cost, obs=obs,
+            )
+            self._encoder = PackedTransitionEncoder(
+                self.batch_size or DEFAULT_PACKED_BATCH
+            )
+            return
         self.replayer = TeaReplayer(
             self.tea, config=self.config, cost=pin.cost, profile=self.profile,
             obs=obs,
         )
 
     def on_transition(self, transition):
+        encoder = self._encoder
+        if encoder is not None:
+            batch = encoder.add(transition)
+            if batch is not None:
+                self.replayer.run(batch)
+            return
         if self.batch_size is None:
             self.replayer.step(transition)
             return
@@ -85,6 +131,11 @@ class TeaReplayTool(Pintool):
             buffer.clear()
 
     def on_finish(self):
+        if self._encoder is not None:
+            batch = self._encoder.flush()
+            if batch is not None:
+                self.replayer.run(batch)
+            return
         if self._buffer:
             self.replayer.run(self._buffer)
             self._buffer.clear()

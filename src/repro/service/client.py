@@ -128,18 +128,23 @@ class ServiceClient:
         params = {} if snapshot is None else {"snapshot": snapshot}
         return self.call("snapshot-info", **params)
 
-    def replay(self, snapshot=None, config="global_local", batch=None):
+    def replay(self, snapshot=None, config="global_local", batch=None,
+               engine=None):
         params = {"config": config}
         if snapshot is not None:
             params["snapshot"] = snapshot
         if batch is not None:
             params["batch"] = batch
+        if engine is not None:
+            params["engine"] = engine
         return self.call("replay", **params)
 
-    def coverage(self, snapshot=None, config="global_local"):
+    def coverage(self, snapshot=None, config="global_local", engine=None):
         params = {"config": config}
         if snapshot is not None:
             params["snapshot"] = snapshot
+        if engine is not None:
+            params["engine"] = engine
         return self.call("coverage", **params)
 
     def step_batch(self, labels, snapshot=None, start=0,

@@ -55,7 +55,11 @@ from repro.service.protocol import (
     read_frame,
     result_reply,
 )
-from repro.store.binary import load_tea_binary, peek_tea_binary
+from repro.store.binary import (
+    compile_tea_binary,
+    load_tea_binary,
+    peek_tea_binary,
+)
 from repro.workloads import load_benchmark
 
 #: Replay configuration names accepted by the ``replay``/``coverage``
@@ -66,6 +70,15 @@ REPLAY_CONFIGS = {
     "no_global_local": ReplayConfig.no_global_local,
     "no_global_no_local": ReplayConfig.no_global_no_local,
 }
+
+#: Engines the ``replay``/``coverage`` RPCs accept.  The compiled
+#: flat-table engine is the default: every preloaded snapshot carries a
+#: ready :class:`~repro.core.compiled.CompiledTea` (lowered straight
+#: from the snapshot bytes), the accounting is identical, and it is the
+#: faster dispatch loop.  ``engine="object"`` keeps the TeaReplayer
+#: object walk for differential checks.
+REPLAY_ENGINES = ("object", "compiled")
+DEFAULT_ENGINE = "compiled"
 
 
 class ServiceSetupError(ReproError):
@@ -103,9 +116,11 @@ class SnapshotEntry:
     """One preloaded snapshot: program image + trace set + automaton."""
 
     __slots__ = ("key", "meta", "label", "program", "block_index",
-                 "trace_set", "tea", "profile", "n_bytes", "_native_cycles")
+                 "trace_set", "tea", "compiled", "profile", "n_bytes",
+                 "_native_cycles")
 
-    def __init__(self, key, meta, program, trace_set, tea, profile, n_bytes):
+    def __init__(self, key, meta, program, trace_set, tea, profile, n_bytes,
+                 compiled=None):
         self.key = key
         self.meta = meta or {}
         self.label = self.meta.get("label") or self.meta.get("benchmark") or key
@@ -113,6 +128,7 @@ class SnapshotEntry:
         self.block_index = BlockIndex(program)
         self.trace_set = trace_set
         self.tea = tea
+        self.compiled = compiled
         self.profile = profile
         self.n_bytes = n_bytes
         self._native_cycles = None
@@ -155,8 +171,13 @@ def load_entry(key, data):
     scale = float(meta.get("scale", 1.0))
     program = load_benchmark(benchmark, scale=scale).program
     trace_set, tea, profile = load_tea_binary(data, BlockIndex(program))
+    # Lower the snapshot's automaton tables into the compiled flat-table
+    # layout once, up front; the successor dispatch dicts are built
+    # eagerly so the worker pool shares them read-only from the start.
+    compiled = compile_tea_binary(data)
+    compiled.successor_maps()
     return SnapshotEntry(key, meta, program, trace_set, tea, profile,
-                         len(data))
+                         len(data), compiled=compiled)
 
 
 class TeaService:
@@ -447,43 +468,58 @@ class TeaService:
             )
         return name, factory
 
+    def _replay_engine(self, params):
+        engine = params.get("engine", DEFAULT_ENGINE)
+        if engine not in REPLAY_ENGINES:
+            raise _BadParams(
+                "unknown replay engine %r (expected one of %s)"
+                % (engine, ", ".join(REPLAY_ENGINES))
+            )
+        return engine
+
     async def _rpc_replay(self, params):
         entry = self._resolve(params)
         name, factory = self._replay_config(params)
+        engine = self._replay_engine(params)
         batch = params.get("batch")
         if batch is not None and (not isinstance(batch, int) or batch < 1):
             raise _BadParams("'batch' must be a positive integer")
         loop = asyncio.get_event_loop()
         result = await loop.run_in_executor(
-            self._pool, self._replay_blocking, entry, factory(), batch
+            self._pool, self._replay_blocking, entry, factory(), batch,
+            engine,
         )
         result["snapshot"] = entry.key
         result["config"] = name
+        result["engine"] = engine
         async with self._replay_memo_lock:
-            self._replay_memo.setdefault((entry.key, name), result)
+            self._replay_memo.setdefault((entry.key, name, engine), result)
         return result
 
     async def _rpc_coverage(self, params):
         entry = self._resolve(params)
         name, _ = self._replay_config(params)
+        engine = self._replay_engine(params)
         async with self._replay_memo_lock:
-            memo = self._replay_memo.get((entry.key, name))
+            memo = self._replay_memo.get((entry.key, name, engine))
         if memo is None:
             memo = await self._rpc_replay(params)
         return {
             "snapshot": entry.key,
             "config": name,
+            "engine": engine,
             "coverage_pin": memo["coverage_pin"],
             "coverage_dbt": memo["coverage_dbt"],
             "covered_pin": memo["stats"]["covered_pin"],
             "total_pin": memo["stats"]["total_pin"],
         }
 
-    def _replay_blocking(self, entry, config, batch):
+    def _replay_blocking(self, entry, config, batch, engine):
         """Worker-pool body: one full replay over a shared automaton."""
         tool = TeaReplayTool(
             trace_set=entry.trace_set, config=config,
-            batch_size=batch, tea=entry.tea,
+            batch_size=batch, tea=entry.tea, engine=engine,
+            compiled=entry.compiled if engine == "compiled" else None,
         )
         result = Pin(entry.program, tool=tool).run()
         stats = tool.stats.as_dict()

@@ -20,6 +20,7 @@ out of a store; ``repro tools tea info`` inspects individual files.
 
 from repro.store.binary import (
     BINARY_VERSION,
+    compile_tea_binary,
     dump_tea_binary,
     load_tea_binary,
     load_tea_binary_file,
@@ -35,6 +36,7 @@ from repro.store.store import (
 
 __all__ = [
     "BINARY_VERSION",
+    "compile_tea_binary",
     "dump_tea_binary",
     "load_tea_binary",
     "load_tea_binary_file",

@@ -487,15 +487,13 @@ def load_tea_binary(data, block_index, with_meta=False):
     return trace_set, tea, profile
 
 
-def peek_tea_binary(data):
-    """Structural summary of snapshot bytes, without a program image.
+def _scan_traces(reader):
+    """Skip the traces section; returns ``(kind, n_traces, n_tbbs, n_edges)``.
 
-    Unlike :func:`load_tea_binary` this needs no :class:`BlockIndex`:
-    block spans are scanned but not interned.  Returns a dict with the
-    version, counts, profile presence, meta, and byte size.
+    Shared by the inspection paths that need the automaton section but
+    no program image (:func:`peek_tea_binary`,
+    :func:`compile_tea_binary`): block spans are scanned, not interned.
     """
-    reader, flags = _open_snapshot(data)
-    meta = _decode_meta(reader, flags)
     kind = reader.string() or None
     n_traces = reader.uvarint()
     n_tbbs = 0
@@ -510,6 +508,80 @@ def peek_tea_binary(data):
         trace_edges = reader.uvarint()
         n_edges += trace_edges
         reader.uvarint_run(2 * trace_edges)
+    return kind, n_traces, n_tbbs, n_edges
+
+
+def compile_tea_binary(data):
+    """Lower snapshot bytes straight into a
+    :class:`~repro.core.compiled.CompiledTea`.
+
+    The TEAB automaton section *is* the compiled layout — per-state
+    transition runs sorted by label, heads sorted by entry — so the
+    tables can be filled in one decoding pass without materializing the
+    ``TeaState`` object graph, the trace set, or a program image.  The
+    per-state instruction metadata arrays come back zeroed: the format
+    does not store instruction counts (and must not change — snapshot
+    bytes are content-addressed), and the compiled replayer never reads
+    them (packed transition streams carry the dynamic counts).
+    """
+    from array import array
+
+    from repro.core.compiled import CompiledTea
+
+    reader, flags = _open_snapshot(data)
+    _decode_meta(reader, flags)
+    _scan_traces(reader)
+    n_states = reader.uvarint()
+    if n_states < 1:
+        raise SerializationError("snapshot automaton has no NTE state")
+    reader.uvarint_run(2 * (n_states - 1))   # (trace_id, index) refs
+    trans_offset = array("q", [0] * (n_states + 1))
+    trans_labels = array("q")
+    trans_dest = array("q")
+    for sid in range(n_states):
+        n_transitions = reader.uvarint()
+        run = reader.uvarint_run(2 * n_transitions)
+        previous = 0
+        for position in range(0, 2 * n_transitions, 2):
+            label = previous + unzigzag(run[position])
+            dest = run[position + 1]
+            if not 0 <= dest < n_states:
+                raise SerializationError(
+                    "transition to unknown state %d" % dest
+                )
+            trans_labels.append(label)
+            trans_dest.append(dest)
+            previous = label
+        trans_offset[sid + 1] = len(trans_labels)
+    n_heads = reader.uvarint()
+    run = reader.uvarint_run(2 * n_heads)
+    head_entries = array("q")
+    head_sids = array("q")
+    previous = 0
+    for position in range(0, 2 * n_heads, 2):
+        entry = previous + unzigzag(run[position])
+        sid = run[position + 1]
+        if not 0 < sid < n_states:
+            raise SerializationError("head refers to unknown state %d" % sid)
+        head_entries.append(entry)
+        head_sids.append(sid)
+        previous = entry
+    # Any trailing profile section is irrelevant to the tables.
+    tbb_flag = b"\x00" + b"\x01" * (n_states - 1)
+    return CompiledTea(n_states, tbb_flag, trans_offset, trans_labels,
+                       trans_dest, head_entries, head_sids)
+
+
+def peek_tea_binary(data):
+    """Structural summary of snapshot bytes, without a program image.
+
+    Unlike :func:`load_tea_binary` this needs no :class:`BlockIndex`:
+    block spans are scanned but not interned.  Returns a dict with the
+    version, counts, profile presence, meta, and byte size.
+    """
+    reader, flags = _open_snapshot(data)
+    meta = _decode_meta(reader, flags)
+    kind, n_traces, n_tbbs, n_edges = _scan_traces(reader)
     n_states = reader.uvarint()
     reader.uvarint_run(2 * (n_states - 1))
     n_transitions = 0

@@ -20,6 +20,7 @@ import os
 from repro.errors import SerializationError
 from repro.obs import Observability
 from repro.store.binary import (
+    compile_tea_binary,
     dump_tea_binary,
     load_tea_binary,
     peek_tea_binary,
@@ -108,6 +109,16 @@ class AutomatonStore:
         return load_tea_binary(
             self.get_bytes(key), block_index, with_meta=with_meta
         )
+
+    def get_compiled(self, key):
+        """A :class:`~repro.core.compiled.CompiledTea` for ``key``.
+
+        Lowers the snapshot's automaton tables straight into the
+        compiled flat-table layout — no program image, no ``TeaState``
+        object graph, no Algorithm 1 (see
+        :func:`~repro.store.binary.compile_tea_binary`).
+        """
+        return compile_tea_binary(self.get_bytes(key))
 
     def describe(self, key):
         """Structural summary of ``key`` (no program image needed)."""

@@ -84,12 +84,19 @@ def _cmd_record(args):
 def _cmd_replay(args):
     program = _load_program(args)
     trace_set = load_trace_set(args.traces, BlockIndex(program))
+    if args.profile and args.engine == "compiled":
+        print("error: --profile needs the object engine (the compiled "
+              "engine replays packed int streams, which carry nothing "
+              "to profile); drop --profile or use --engine object",
+              file=sys.stderr)
+        return 2
     profile = TeaProfile() if args.profile else None
     tool = TeaReplayTool(
         trace_set=trace_set,
         config=CONFIGS[args.config](),
         profile=profile,
         link_traces=args.link_traces,
+        engine=args.engine,
     )
     result = Pin(program, tool=tool).run()
     native = run_native(program)
@@ -98,9 +105,9 @@ def _cmd_replay(args):
           % (len(trace_set), tool.tea.n_states, tool.tea.n_transitions))
     print("replay coverage %.1f%% (%d of %d Pin-counted instructions)"
           % (100 * tool.coverage, stats.covered_pin, stats.total_pin))
-    print("time %.2f Mcycles (%.1fx native), config %s"
+    print("time %.2f Mcycles (%.1fx native), config %s, engine %s"
           % (result.megacycles, result.cycles / native.cycles,
-             tool.config.describe()))
+             tool.config.describe(), args.engine))
     print("transition function: %d in-trace hits, %d cache hits, "
           "%d directory probes, %d NTE blocks"
           % (stats.in_trace_hits, stats.cache_hits,
@@ -126,7 +133,7 @@ def _cmd_metrics(args):
         trace_set = StarDBT(program, strategy="mret", limits=limits).run().trace_set
     obs = Observability(trace_capacity=args.events)
     tool = TeaReplayTool(trace_set=trace_set, config=CONFIGS[args.config](),
-                         batch_size=args.batch or None)
+                         batch_size=args.batch or None, engine=args.engine)
     Pin(program, tool=tool, obs=obs).run()
     snapshot = tool.snapshot()
     if args.out:
@@ -209,8 +216,13 @@ def main(argv=None):
     replay.add_argument("--traces", required=True, help="trace file to load")
     replay.add_argument("--config", choices=sorted(CONFIGS),
                         default="global_local")
+    replay.add_argument("--engine", choices=("object", "compiled"),
+                        default="object",
+                        help="replay engine: object-graph walk or the "
+                             "compiled flat-table engine (default object)")
     replay.add_argument("--profile", action="store_true",
-                        help="collect and print a per-TBB profile")
+                        help="collect and print a per-TBB profile "
+                             "(object engine only)")
     replay.add_argument("--link-traces", action="store_true",
                         help="materialise static trace-to-trace transitions")
     replay.add_argument("--top", type=int, default=8,
@@ -248,7 +260,11 @@ def main(argv=None):
                          help="event-tracer ring capacity (default 128)")
     metrics.add_argument("--batch", type=int, default=0,
                          help="feed the replayer in batches of N "
-                              "transitions (0 = per-call step)")
+                              "transitions (0 = per-call step; the "
+                              "compiled engine always batches)")
+    metrics.add_argument("--engine", choices=("object", "compiled"),
+                         default="object",
+                         help="replay engine (default object)")
     metrics.add_argument("--format", choices=("json", "text"),
                          default="json")
     metrics.add_argument("--out", help="write the JSON snapshot here")

@@ -149,16 +149,30 @@ def test_ping_and_snapshots(shared_service, world):
 
 
 def test_replay_matches_in_process_replay(shared_service, world):
-    direct = TeaReplayTool(trace_set=world.trace_set, tea=world.tea)
+    # The service replays via the compiled engine by default, over flat
+    # tables built straight from the snapshot bytes; drive the same
+    # compiled automaton in-process so cycles match bit-for-bit.
+    compiled = world.store.get_compiled(world.key)
+    direct = TeaReplayTool(trace_set=world.trace_set, tea=world.tea,
+                           engine="compiled", compiled=compiled)
     direct_result = Pin(world.program, tool=direct).run()
 
     with shared_service.client(timeout=120.0) as client:
         served = client.replay(snapshot=world.key)
+    assert served["engine"] == "compiled"
     assert served["coverage_pin"] == direct.coverage
     assert served["stats"] == direct.stats.as_dict()
     assert served["cycles"] == direct_result.cycles
     assert served["states"] == world.tea.n_states
     assert served["slowdown"] > 1.0
+
+    # The object engine walks the TeaState graph instead; transition
+    # accounting is identical, only float charge interleaving differs.
+    with shared_service.client(timeout=120.0) as client:
+        via_objects = client.replay(snapshot=world.key, engine="object")
+    assert via_objects["engine"] == "object"
+    assert via_objects["stats"] == served["stats"]
+    assert via_objects["coverage_pin"] == served["coverage_pin"]
 
     with shared_service.client(timeout=120.0) as client:
         coverage = client.coverage(snapshot="world")
@@ -227,6 +241,9 @@ def test_bad_params(shared_service):
         assert excinfo.value.code == E_PARAMS
         with pytest.raises(ServiceError) as excinfo:
             client.call("replay", config="warp-speed")
+        assert excinfo.value.code == E_PARAMS
+        with pytest.raises(ServiceError) as excinfo:
+            client.call("replay", engine="jit")
         assert excinfo.value.code == E_PARAMS
         with pytest.raises(ServiceError) as excinfo:
             client.call("step-batch", labels=[1], start=10 ** 6)
