@@ -137,16 +137,32 @@ def check_equivalence(program, trace_set, tea=None, config=None,
     return checker
 
 
-def validate_trace_file(path, program, config=None):
+def validate_trace_file(path, program, config=None, dynamic=True):
     """Load a trace file and prove it consistent with ``program``.
 
-    Raises :class:`~repro.errors.TeaError` when the automaton built from
-    the file diverges from reference trace execution, and propagates
-    :class:`~repro.errors.SerializationError` for malformed files.
-    Returns the (validated) trace set.
+    The static portion is the verifier's own rule families — trace
+    structure (``TEA040``-``TEA043``) and CFG consistency
+    (``TEA010``-``TEA012``) — run through
+    :func:`repro.verify.verify_trace_set`, so this entry point reports
+    exactly what ``repro tools verify`` would; the former ad-hoc
+    per-edge checks live only there now.  A blocking finding raises
+    :class:`~repro.errors.VerificationError` carrying the diagnostics.
+
+    With ``dynamic=True`` (default) the lockstep cursor/automaton
+    check then also runs, raising :class:`~repro.errors.TeaError` on
+    divergence — the dynamic Property 1/2 complement to the static
+    rules.  Malformed files propagate
+    :class:`~repro.errors.SerializationError` as before.  Returns the
+    (validated) trace set.
     """
     from repro.traces.serialization import load_trace_set
+    from repro.verify import verify_trace_set
+
     trace_set = load_trace_set(path, BlockIndex(program))
-    checker = check_equivalence(program, trace_set, config=config)
-    checker.raise_on_divergence()
+    verify_trace_set(
+        trace_set, program=program, source=str(path)
+    ).raise_on_error()
+    if dynamic:
+        checker = check_equivalence(program, trace_set, config=config)
+        checker.raise_on_divergence()
     return trace_set

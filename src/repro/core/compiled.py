@@ -90,33 +90,27 @@ class CompiledTea:
         self._validate()
 
     def _validate(self):
-        n_states = self.n_states
-        if n_states < 1:
-            raise ValueError("compiled TEA needs at least the NTE state")
-        if len(self.tbb_flag) != n_states:
-            raise ValueError("tbb_flag length != n_states")
-        if self.tbb_flag[NTE_SID]:
-            raise ValueError("NTE must not be flagged in-trace")
-        if len(self.trans_offset) != n_states + 1:
-            raise ValueError("trans_offset must have n_states + 1 entries")
-        if self.trans_offset[0] != 0:
-            raise ValueError("trans_offset must start at 0")
-        if self.trans_offset[-1] != len(self.trans_labels):
-            raise ValueError("trans_offset must end at len(trans_labels)")
-        if len(self.trans_labels) != len(self.trans_dest):
-            raise ValueError("trans_labels/trans_dest length mismatch")
-        if len(self.head_entries) != len(self.head_sids):
-            raise ValueError("head_entries/head_sids length mismatch")
-        for sid in self.trans_dest:
-            if not 0 <= sid < n_states:
-                raise ValueError("transition to unknown state %d" % sid)
-        for sid in self.head_sids:
-            if not 0 < sid < n_states:
-                raise ValueError("head refers to unknown state %d" % sid)
-        if len(self._head_map) != len(self.head_entries):
-            raise ValueError("duplicate head entry address")
-        if len(self.instrs_dbt) != n_states or len(self.instrs_pin) != n_states:
-            raise ValueError("metadata arrays must have n_states entries")
+        """Constructor-time structural gate.
+
+        Thin wrapper over the verifier's table checks
+        (:func:`repro.verify.rules_compiled.structural_diagnostics`):
+        every finding carries rule id ``TEA030``, and the raised
+        :class:`~repro.errors.VerificationError` is still a
+        ``ValueError``, preserving the historical contract.  Ordering
+        (per-state label sortedness) is *not* enforced here — the
+        replayer tolerates unsorted runs — only by the full TEA030
+        rule in a verification pass.
+        """
+        from repro.errors import VerificationError
+        from repro.verify.rules_compiled import structural_diagnostics
+
+        diagnostics = list(structural_diagnostics(self))
+        if diagnostics:
+            raise VerificationError(
+                "malformed compiled TEA tables: %s"
+                % diagnostics[0].message,
+                diagnostics=diagnostics,
+            )
 
     # ------------------------------------------------------------------
     # construction

@@ -48,7 +48,7 @@ def duplicate_trace(trace, factor=2, new_id=None):
                     # last copy cycling back to the first.
                     next_base = ((copy + 1) % factor) * size
                     duplicated.add_edge(base + tbb.index, next_base + successor)
-    duplicated.validate()
+    duplicated.check()
     return duplicated
 
 

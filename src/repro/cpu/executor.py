@@ -12,6 +12,8 @@ set CF on unsigned borrow and OF on signed overflow; logical ops clear
 CF/OF; ``inc``/``dec`` preserve CF.  See the per-opcode compilers below.
 """
 
+import operator
+
 from repro.errors import ExecutionError, InstructionLimitExceeded
 from repro.cpu.events import (
     EDGE_CALL,
@@ -121,12 +123,9 @@ def _compile_alu(opcode, instr):
             m.of = (((a ^ b) & (a ^ r)) >> 31) & 1
         return execute
     if opcode in ("and", "or", "xor"):
-        if opcode == "and":
-            combine = lambda a, b: a & b
-        elif opcode == "or":
-            combine = lambda a, b: a | b
-        else:
-            combine = lambda a, b: a ^ b
+        combine = {
+            "and": operator.and_, "or": operator.or_, "xor": operator.xor,
+        }[opcode]
         def execute(m):
             r = combine(read_dst(m), read_src(m)) & _MASK
             write_dst(m, r)

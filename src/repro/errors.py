@@ -46,5 +46,29 @@ class SerializationError(ReproError):
     """A trace/TEA file could not be parsed or failed validation."""
 
 
+class VerificationError(SerializationError, ValueError):
+    """Static verification found blocking diagnostics.
+
+    Raised by the :mod:`repro.verify` rule engine's gating entry points
+    (store loads, service preloads, harness pre-flight, ``CompiledTea``
+    construction).  Doubles as a :class:`ValueError` so constructor-time
+    structural checks keep their historical contract.  ``diagnostics``
+    carries the full :class:`repro.verify.Diagnostic` list.
+    """
+
+    def __init__(self, message, diagnostics=None):
+        self.diagnostics = list(diagnostics or [])
+        super().__init__(message)
+
+    @property
+    def rule_ids(self):
+        """The distinct rule ids that fired, in first-seen order."""
+        seen = []
+        for diagnostic in self.diagnostics:
+            if diagnostic.rule_id not in seen:
+                seen.append(diagnostic.rule_id)
+        return seen
+
+
 class WorkloadError(ReproError):
     """Unknown benchmark name or unsatisfiable workload parameters."""

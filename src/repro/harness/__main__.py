@@ -19,6 +19,7 @@ import argparse
 import sys
 import time
 
+from repro.errors import VerificationError
 from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.harness.figures import render_all
 from repro.harness.parallel import ParallelRunner
@@ -56,6 +57,12 @@ def _parse_args(argv):
         help="replay engine for the TEA replay stages: 'object' walks "
              "the TeaState graph, 'compiled' drives the flat-table "
              "engine over packed transition streams (default object)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="statically verify each benchmark's recorded automaton "
+             "(full TEA rule catalog) before its trace-consuming "
+             "stages; findings abort the run",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -122,10 +129,12 @@ def main(argv=None):
         hot_threshold=args.threshold,
         benchmarks=benchmarks,
         engine=args.engine,
+        verify=args.verify,
     )
     progress = None
     if not args.quiet:
-        progress = lambda message: print("  [run] %s" % message, file=sys.stderr)
+        def progress(message):
+            print("  [run] %s" % message, file=sys.stderr)
     obs = Observability()
     cache = None
     if not args.no_cache:
@@ -141,19 +150,23 @@ def main(argv=None):
         selected = sorted(TABLES)
     else:
         selected = []
-    for table_name in selected:
-        table = TABLES[table_name](runner)
-        sections.append(
-            table.render_markdown() if args.markdown else table.render()
-        )
-    if args.what in ("figures", "all"):
-        sections.append(render_all())
-    if args.what in ("summary", "all"):
-        summary = build_summary(runner)
-        sections.append(
-            summary.render_markdown(include_geomean=False)
-            if args.markdown else summary.render(include_geomean=False)
-        )
+    try:
+        for table_name in selected:
+            table = TABLES[table_name](runner)
+            sections.append(
+                table.render_markdown() if args.markdown else table.render()
+            )
+        if args.what in ("figures", "all"):
+            sections.append(render_all())
+        if args.what in ("summary", "all"):
+            summary = build_summary(runner)
+            sections.append(
+                summary.render_markdown(include_geomean=False)
+                if args.markdown else summary.render(include_geomean=False)
+            )
+    except VerificationError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
 
     output = "\n\n\n".join(sections)
     print(output)

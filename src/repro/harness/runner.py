@@ -65,7 +65,7 @@ class HarnessConfig:
 
     def __init__(self, scale=4.0, hot_threshold=30, benchmarks=None,
                  memory_model=None, max_instructions=50_000_000,
-                 engine="object"):
+                 engine="object", verify=False):
         if engine not in REPLAY_ENGINES:
             raise ValueError(
                 "engine must be one of %s" % ", ".join(
@@ -81,6 +81,11 @@ class HarnessConfig:
         #: (``"object"`` = TeaReplayer, ``"compiled"`` = the flat-table
         #: CompiledReplayer over packed transition streams).
         self.engine = engine
+        #: Run the static verifier over each benchmark's recorded
+        #: automaton before its trace-consuming stages (``--verify``).
+        #: A pre-flight check, not a knob that changes any summary —
+        #: deliberately left out of the cache fingerprint.
+        self.verify = bool(verify)
 
     def limits(self):
         return RecorderLimits(hot_threshold=self.hot_threshold)
@@ -161,6 +166,7 @@ class Runner(SummaryProvider):
         self._pin_only = {}
         self._record = {}
         self._summaries = {}
+        self._verified = set()
 
     def _log(self, message):
         if self.progress is not None:
@@ -308,6 +314,33 @@ class Runner(SummaryProvider):
             self._record[name] = found
         return found
 
+    def preflight_verify(self, name):
+        """Verify ``name``'s recorded automaton once (``--verify``).
+
+        Builds the MRET trace set's automaton and runs the full static
+        rule catalog — automaton, trace-structure and CFG families —
+        before the trace-consuming stages execute.  Findings raise
+        :class:`~repro.errors.VerificationError`, so a harness run on a
+        damaged recording fails loudly up front instead of folding bad
+        numbers into a table.  Memoised per benchmark; a no-op unless
+        ``config.verify`` is set.
+        """
+        if not self.config.verify or name in self._verified:
+            return
+        from repro.core.builder import build_tea
+        from repro.verify import verify_tea
+
+        trace_set = self.dbt(name, "mret").trace_set
+        program = self.workload(name).program
+        self._log("%s: verify" % name)
+        with self.obs.metrics.timer("harness.verify"):
+            tea = build_tea(trace_set)
+            verify_tea(
+                tea, trace_set=trace_set, program=program,
+                source="%s (mret recording)" % name, obs=self.obs,
+            ).raise_on_error()
+        self._verified.add(name)
+
     # ------------------------------------------------------------------
     # stage summaries (what the table builders consume)
     # ------------------------------------------------------------------
@@ -341,6 +374,8 @@ class Runner(SummaryProvider):
 
     def _compute_summary(self, name, stage):
         kind, _, arg = stage.partition(":")
+        if kind in ("dbt", "replay", "record"):
+            self.preflight_verify(name)
         if kind == "native":
             result = self.native(name)
             return {"cycles": result.cycles, "megacycles": result.megacycles}

@@ -29,14 +29,15 @@ E_PARSE = "parse-error"          # frame was not valid JSON / not an object
 E_METHOD = "unknown-method"      # no such RPC method
 E_PARAMS = "bad-params"          # params missing/invalid for the method
 E_SNAPSHOT = "unknown-snapshot"  # no preloaded snapshot with that id
+E_INVALID = "invalid-automaton"  # snapshot failed static verification
 E_TOO_LARGE = "payload-too-large"
 E_TIMEOUT = "request-timeout"
 E_SHUTDOWN = "shutting-down"     # server is draining; request refused
 E_INTERNAL = "internal-error"
 
 ERROR_CODES = (
-    E_PARSE, E_METHOD, E_PARAMS, E_SNAPSHOT, E_TOO_LARGE, E_TIMEOUT,
-    E_SHUTDOWN, E_INTERNAL,
+    E_PARSE, E_METHOD, E_PARAMS, E_SNAPSHOT, E_INVALID, E_TOO_LARGE,
+    E_TIMEOUT, E_SHUTDOWN, E_INTERNAL,
 )
 
 

@@ -35,11 +35,12 @@ from concurrent.futures import ThreadPoolExecutor
 from repro import __version__
 from repro.cfg.basic_block import BlockIndex
 from repro.core import ReplayConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, SerializationError, VerificationError
 from repro.obs import Observability
 from repro.pin import Pin, TeaReplayTool, run_native
 from repro.service.protocol import (
     E_INTERNAL,
+    E_INVALID,
     E_METHOD,
     E_PARAMS,
     E_PARSE,
@@ -93,15 +94,19 @@ class _UnknownSnapshot(ReproError):
     """Internal: no such snapshot (mapped to ``unknown-snapshot``)."""
 
 
+class _InvalidSnapshot(ReproError):
+    """Internal: snapshot failed verification (``invalid-automaton``)."""
+
+
 class ServiceConfig:
     """Operational knobs for one :class:`TeaService` instance."""
 
     __slots__ = ("host", "port", "workers", "request_timeout",
-                 "max_payload", "drain_timeout", "debug")
+                 "max_payload", "drain_timeout", "debug", "verify")
 
     def __init__(self, host="127.0.0.1", port=0, workers=4,
                  request_timeout=60.0, max_payload=MAX_PAYLOAD_DEFAULT,
-                 drain_timeout=30.0, debug=False):
+                 drain_timeout=30.0, debug=False, verify=True):
         self.host = host
         self.port = port
         self.workers = max(1, int(workers))
@@ -110,6 +115,10 @@ class ServiceConfig:
         self.drain_timeout = drain_timeout
         #: Enables the ``sleep`` RPC (used by the timeout/drain tests).
         self.debug = debug
+        #: Opt-out gate: statically verify every snapshot at preload;
+        #: failing snapshots are quarantined (``invalid-automaton``
+        #: RPC errors) instead of crashing startup.
+        self.verify = bool(verify)
 
 
 class SnapshotEntry:
@@ -152,14 +161,23 @@ class SnapshotEntry:
         }
 
 
-def load_entry(key, data):
+def load_entry(key, data, verify=True):
     """Preload one snapshot's bytes into a :class:`SnapshotEntry`.
 
     The snapshot's meta must name the benchmark it was recorded from
     (``repro.service build`` records it) so the program image can be
     regenerated — the service equivalent of the paper's requirement
     that both systems agree on the program's address space.
+
+    With ``verify=True`` the static snapshot rules run over the bytes
+    first; damage raises :class:`~repro.errors.VerificationError` with
+    the offending rule ids, which :meth:`TeaService.preload` turns
+    into a quarantined entry rather than a startup crash.
     """
+    if verify:
+        from repro.verify import verify_snapshot_bytes
+
+        verify_snapshot_bytes(data, source=key, deep=False).raise_on_error()
     info = peek_tea_binary(data)
     meta = info["meta"] or {}
     benchmark = meta.get("benchmark")
@@ -174,7 +192,7 @@ def load_entry(key, data):
     # Lower the snapshot's automaton tables into the compiled flat-table
     # layout once, up front; the successor dispatch dicts are built
     # eagerly so the worker pool shares them read-only from the start.
-    compiled = compile_tea_binary(data)
+    compiled = compile_tea_binary(data, verify=False)
     compiled.successor_maps()
     return SnapshotEntry(key, meta, program, trace_set, tea, profile,
                          len(data), compiled=compiled)
@@ -199,6 +217,7 @@ class TeaService:
         self.config = config or ServiceConfig()
         self.obs = obs if obs is not None else Observability()
         self.entries = {}          # key -> SnapshotEntry
+        self.invalid = {}          # key -> {"error": ..., "rules": [...]}
         self._aliases = {}         # label/benchmark -> key
         self._server = None
         self._pool = None
@@ -215,6 +234,8 @@ class TeaService:
         self._bytes_in = metrics.counter("service.bytes_in")
         self._bytes_out = metrics.counter("service.bytes_out")
         self._connections = metrics.counter("service.connections")
+        self._verify_ok = metrics.counter("service.verify_ok")
+        self._verify_failed = metrics.counter("service.verify_failed")
         self._active = metrics.gauge("service.connections_active")
         self._active.set(0)
         self._methods = {
@@ -235,18 +256,42 @@ class TeaService:
     # ------------------------------------------------------------------
 
     def preload(self):
-        """Load every snapshot in the store (idempotent, synchronous)."""
+        """Load every snapshot in the store (idempotent, synchronous).
+
+        Snapshots that fail static verification (or cannot be decoded
+        at all) are *quarantined* in :attr:`invalid` — the service
+        still starts, and requests naming them get a structured
+        ``invalid-automaton`` error instead of a crash.  A snapshot
+        without benchmark meta remains a hard setup error: that is a
+        deployment mistake, not data damage.
+        """
         with self.obs.metrics.timer("service.preload"):
             for key in self.store.keys():
-                if key in self.entries:
+                if key in self.entries or key in self.invalid:
                     continue
-                entry = load_entry(key, self.store.get_bytes(key))
+                try:
+                    entry = load_entry(key, self.store.get_bytes(key),
+                                       verify=self.config.verify)
+                except VerificationError as error:
+                    self._verify_failed.inc()
+                    self.invalid[key] = {
+                        "error": str(error),
+                        "rules": error.rule_ids,
+                    }
+                    continue
+                except SerializationError as error:
+                    self._verify_failed.inc()
+                    self.invalid[key] = {"error": str(error), "rules": []}
+                    continue
+                self._verify_ok.inc()
                 self.entries[key] = entry
                 self._aliases.setdefault(entry.label, key)
                 benchmark = entry.meta.get("benchmark")
                 if benchmark:
                     self._aliases.setdefault(benchmark, key)
         self.obs.metrics.set_gauge("service.snapshots", len(self.entries))
+        self.obs.metrics.set_gauge("service.snapshots_invalid",
+                                   len(self.invalid))
 
     async def start(self):
         """Preload snapshots, bind the listener, spin up the pool."""
@@ -256,6 +301,11 @@ class TeaService:
                 "'python -m repro.service build'" % self.store.root
             )
         self.preload()
+        if not self.entries:
+            raise ServiceSetupError(
+                "all %d snapshot(s) in store %s failed verification"
+                % (len(self.invalid), self.store.root)
+            )
         # Loop-bound primitives are created here, inside the running
         # loop, so the service object itself can be built anywhere.
         self._stopped = asyncio.Event()
@@ -417,6 +467,8 @@ class TeaService:
             return error_reply(request_id, E_PARAMS, error)
         except _UnknownSnapshot as error:
             return error_reply(request_id, E_SNAPSHOT, error)
+        except _InvalidSnapshot as error:
+            return error_reply(request_id, E_INVALID, error)
         except asyncio.CancelledError:
             raise
         except Exception as error:  # noqa: BLE001 — structured reply
@@ -440,6 +492,13 @@ class TeaService:
         key = self._aliases.get(name, name)
         entry = self.entries.get(key)
         if entry is None:
+            quarantined = self.invalid.get(key)
+            if quarantined is not None:
+                raise _InvalidSnapshot(
+                    "snapshot %r failed static verification (%s): %s"
+                    % (name, ", ".join(quarantined["rules"]) or "decode",
+                       quarantined["error"])
+                )
             raise _UnknownSnapshot("no snapshot %r is loaded" % name)
         return entry
 
@@ -448,12 +507,18 @@ class TeaService:
                 "snapshots": len(self.entries)}
 
     async def _rpc_snapshots(self, params):
-        return {
+        result = {
             "snapshots": [
                 self.entries[key].describe()
                 for key in sorted(self.entries)
             ]
         }
+        if self.invalid:
+            result["invalid"] = [
+                {"key": key, **self.invalid[key]}
+                for key in sorted(self.invalid)
+            ]
+        return result
 
     async def _rpc_snapshot_info(self, params):
         return self._resolve(params).describe()

@@ -384,7 +384,7 @@ def _decode_traces(reader, block_index):
                 "duplicate trace entry %#x" % trace.entry
             )
         trace_set.by_entry[trace.entry] = trace
-    trace_set.validate()
+    trace_set.check()
     return trace_set
 
 
@@ -511,7 +511,7 @@ def _scan_traces(reader):
     return kind, n_traces, n_tbbs, n_edges
 
 
-def compile_tea_binary(data):
+def compile_tea_binary(data, verify=True):
     """Lower snapshot bytes straight into a
     :class:`~repro.core.compiled.CompiledTea`.
 
@@ -523,11 +523,22 @@ def compile_tea_binary(data):
     does not store instruction counts (and must not change — snapshot
     bytes are content-addressed), and the compiled replayer never reads
     them (packed transition streams carry the dynamic counts).
+
+    With ``verify=True`` (the default) the snapshot rule family
+    (``TEA020``-``TEA023``) certifies the bytes first and a
+    :class:`~repro.errors.VerificationError` — still a
+    :class:`SerializationError` — carries the full diagnostics when
+    they are damaged.  Pass ``verify=False`` to skip the pass (the
+    verifier itself does, to avoid re-scanning).
     """
     from array import array
 
     from repro.core.compiled import CompiledTea
 
+    if verify:
+        from repro.verify.api import verify_snapshot_bytes
+
+        verify_snapshot_bytes(data, deep=False).raise_on_error()
     reader, flags = _open_snapshot(data)
     _decode_meta(reader, flags)
     _scan_traces(reader)

@@ -50,15 +50,40 @@ class AutomatonStore:
         Optional :class:`~repro.obs.Observability` receiving the
         ``store.*`` traffic counters; a private one is created
         otherwise.
+    verify_on_load:
+        When true (the default), :meth:`load` and :meth:`get_compiled`
+        run the static snapshot rules (``TEA020``-``TEA023``) over the
+        bytes before decoding and raise
+        :class:`~repro.errors.VerificationError` — still a
+        :class:`SerializationError` — on damage the CRC alone cannot
+        see.  ``store.verify_ok`` / ``store.verify_failed`` count the
+        outcomes.
     """
 
-    def __init__(self, root=DEFAULT_STORE_DIR, obs=None):
+    def __init__(self, root=DEFAULT_STORE_DIR, obs=None,
+                 verify_on_load=True):
         self.root = str(root)
         self.obs = obs if obs is not None else Observability()
+        self.verify_on_load = bool(verify_on_load)
         metrics = self.obs.metrics
         self._puts = metrics.counter("store.puts")
         self._gets = metrics.counter("store.gets")
         self._bytes_written = metrics.counter("store.bytes_written")
+        self._verify_ok = metrics.counter("store.verify_ok")
+        self._verify_failed = metrics.counter("store.verify_failed")
+
+    def _gate(self, key, data):
+        """Run the snapshot rules over ``data`` when the gate is on."""
+        if not self.verify_on_load:
+            return
+        from repro.verify.api import verify_snapshot_bytes
+
+        report = verify_snapshot_bytes(data, source=key, deep=False)
+        if report.ok():
+            self._verify_ok.inc()
+        else:
+            self._verify_failed.inc()
+            report.raise_on_error()
 
     # ------------------------------------------------------------------
 
@@ -106,9 +131,9 @@ class AutomatonStore:
         ``block_index`` must be backed by the program image the
         snapshot was recorded against, exactly as for the JSON loaders.
         """
-        return load_tea_binary(
-            self.get_bytes(key), block_index, with_meta=with_meta
-        )
+        data = self.get_bytes(key)
+        self._gate(key, data)
+        return load_tea_binary(data, block_index, with_meta=with_meta)
 
     def get_compiled(self, key):
         """A :class:`~repro.core.compiled.CompiledTea` for ``key``.
@@ -118,7 +143,9 @@ class AutomatonStore:
         object graph, no Algorithm 1 (see
         :func:`~repro.store.binary.compile_tea_binary`).
         """
-        return compile_tea_binary(self.get_bytes(key))
+        data = self.get_bytes(key)
+        self._gate(key, data)
+        return compile_tea_binary(data, verify=False)
 
     def describe(self, key):
         """Structural summary of ``key`` (no program image needed)."""

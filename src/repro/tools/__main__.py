@@ -15,6 +15,9 @@ Examples::
         --events 64 --out metrics.json
     python -m repro.tools cache
     python -m repro.tools cache --dir .repro_cache --clear
+    python -m repro.tools verify snapshot.teab
+    python -m repro.tools verify --benchmark 176.gcc tea.json
+    python -m repro.tools verify --format sarif --out report.sarif *.teab
 """
 
 import argparse
@@ -178,6 +181,66 @@ def _cmd_tea_info(args):
     return 0
 
 
+def _cmd_verify(args):
+    """Statically verify TEA artifacts; exit 1 on blocking findings."""
+    from repro.errors import SerializationError
+    from repro.verify import (
+        all_rules,
+        default_engine,
+        reports_to_sarif,
+        rule_by_id,
+        verify_path,
+    )
+
+    for rule_id in args.disable:
+        try:
+            rule_by_id(rule_id)
+        except KeyError:
+            print("error: unknown rule id %r (see docs/"
+                  "static_verification.md)" % rule_id, file=sys.stderr)
+            return 2
+    program = None
+    if args.benchmark or args.source:
+        program = _load_program(args)
+    engine = default_engine(disabled=args.disable, strict=args.strict)
+    reports = []
+    failed = False
+    for path in args.files:
+        try:
+            report = verify_path(path, program=program, engine=engine)
+        except SerializationError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        reports.append(report)
+        if not report.ok(strict=args.strict):
+            failed = True
+        if args.format == "text":
+            print(report.render_text(strict=args.strict))
+    if args.format == "json":
+        body = json.dumps([report.to_json() for report in reports],
+                          indent=2, sort_keys=True)
+    elif args.format == "sarif":
+        body = json.dumps(reports_to_sarif(reports, all_rules()),
+                          indent=2, sort_keys=True)
+    else:
+        body = None
+    if body is not None:
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(body)
+                handle.write("\n")
+            print("%s report written to %s" % (args.format, args.out))
+        else:
+            print(body)
+    elif args.out:
+        with open(args.out, "w") as handle:
+            for report in reports:
+                handle.write(report.render_text(strict=args.strict))
+                handle.write("\n")
+        print("text report written to %s" % args.out)
+    return 1 if failed else 0
+
+
 def _cmd_info(args):
     with open(args.traces) as handle:
         document = json.load(handle)
@@ -269,6 +332,31 @@ def main(argv=None):
                          default="json")
     metrics.add_argument("--out", help="write the JSON snapshot here")
 
+    verify = commands.add_parser(
+        "verify",
+        help="statically verify TEA artifacts "
+             "(see docs/static_verification.md)",
+    )
+    verify.add_argument("files", nargs="+", metavar="FILE",
+                        help="TEAB snapshots and/or JSON TEA documents")
+    group = verify.add_mutually_exclusive_group()
+    group.add_argument("--benchmark", choices=sorted(BENCHMARKS),
+                       help="program image for the CFG rules (JSON "
+                            "documents require one; TEAB snapshots can "
+                            "carry it in their meta)")
+    group.add_argument("--source", help="an SX86 assembly source file")
+    verify.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale (benchmarks only)")
+    verify.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    verify.add_argument("--out", help="write the report here instead of "
+                                      "stdout")
+    verify.add_argument("--strict", action="store_true",
+                        help="treat warnings as blocking")
+    verify.add_argument("--disable", action="append", default=[],
+                        metavar="RULE",
+                        help="disable one rule id (repeatable)")
+
     cache = commands.add_parser(
         "cache",
         help="inspect or clear the harness's persistent result cache",
@@ -288,6 +376,8 @@ def main(argv=None):
             return _cmd_metrics(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         if args.command == "tea":
             return _cmd_tea_info(args)
         return _cmd_info(args)

@@ -14,6 +14,7 @@ DBT code cache and Algorithm 1 consume.
 """
 
 from repro.errors import TraceError
+from repro.verify.diagnostics import ERROR, Diagnostic
 
 
 class TBB:
@@ -131,22 +132,55 @@ class Trace:
         return sum(len(tbb.exit_labels()) for tbb in self.tbbs)
 
     def validate(self):
-        """Check structural invariants; raises :class:`TraceError`."""
+        """Check structural invariants; returns a list of diagnostics.
+
+        Every problem is reported (not just the first), each as a
+        :class:`~repro.verify.diagnostics.Diagnostic` carrying its rule
+        id — ``TEA040`` (structure), ``TEA041`` (dangling edge),
+        ``TEA042`` (label mismatch) — so trace files get the same
+        reporting path as every other verifier subject.  Use
+        :meth:`check` for the historical raise-on-first-error contract.
+        """
+        diagnostics = []
         if not self.tbbs:
-            raise TraceError("trace T%d is empty" % self.trace_id)
+            diagnostics.append(Diagnostic(
+                "TEA040", ERROR, "trace T%d is empty" % self.trace_id,
+                location="T%d" % self.trace_id,
+            ))
+            return diagnostics
         for position, tbb in enumerate(self.tbbs):
             if tbb.index != position:
-                raise TraceError("TBB index mismatch in T%d" % self.trace_id)
+                diagnostics.append(Diagnostic(
+                    "TEA040", ERROR,
+                    "TBB index mismatch in T%d (%s at position %d "
+                    "claims index %d)"
+                    % (self.trace_id, tbb.name, position, tbb.index),
+                    location=tbb.name,
+                ))
             for label, successor in tbb.successors.items():
                 if not 0 <= successor < len(self.tbbs):
-                    raise TraceError(
-                        "dangling edge %s -> #%d" % (tbb.name, successor)
-                    )
-                if self.tbbs[successor].block.start != label:
-                    raise TraceError(
+                    diagnostics.append(Diagnostic(
+                        "TEA041", ERROR,
+                        "dangling edge %s -> #%d" % (tbb.name, successor),
+                        location=tbb.name,
+                        data={"successor": successor},
+                    ))
+                elif self.tbbs[successor].block.start != label:
+                    diagnostics.append(Diagnostic(
+                        "TEA042", ERROR,
                         "edge label %#x does not match successor start %#x"
-                        % (label, self.tbbs[successor].block.start)
-                    )
+                        % (label, self.tbbs[successor].block.start),
+                        location=tbb.name,
+                        data={"label": label},
+                    ))
+        return diagnostics
+
+    def check(self):
+        """Raise :class:`TraceError` on the first structural problem."""
+        diagnostics = self.validate()
+        if diagnostics:
+            raise TraceError(diagnostics[0].message)
+        return self
 
     def __repr__(self):
         return "<Trace T%d kind=%s blocks=%d edges=%d>" % (
@@ -171,7 +205,7 @@ class TraceSet:
 
     def add(self, trace):
         """Commit a finished trace; rejects duplicate entry addresses."""
-        trace.validate()
+        trace.check()
         entry = trace.entry
         if entry in self.by_entry:
             raise TraceError("duplicate trace entry %#x" % entry)
@@ -208,8 +242,45 @@ class TraceSet:
         return sum(trace.code_bytes for trace in self.traces)
 
     def validate(self):
+        """Diagnostics for every trace plus set-level invariants.
+
+        Adds ``TEA043`` findings when two traces share an entry address
+        or the ``by_entry`` index disagrees with the trace list.
+        """
+        diagnostics = []
+        seen = {}
         for trace in self.traces:
-            trace.validate()
+            diagnostics.extend(trace.validate())
+            if not trace.tbbs:
+                continue
+            entry = trace.tbbs[0].block.start
+            first = seen.get(entry)
+            if first is not None:
+                diagnostics.append(Diagnostic(
+                    "TEA043", ERROR,
+                    "duplicate trace entry %#x (T%d and T%d)"
+                    % (entry, first.trace_id, trace.trace_id),
+                    location="T%d" % trace.trace_id,
+                    data={"entry": entry},
+                ))
+            else:
+                seen[entry] = trace
+            if self.by_entry.get(entry) is None:
+                diagnostics.append(Diagnostic(
+                    "TEA043", ERROR,
+                    "trace T%d entry %#x is missing from the entry index"
+                    % (trace.trace_id, entry),
+                    location="T%d" % trace.trace_id,
+                    data={"entry": entry},
+                ))
+        return diagnostics
+
+    def check(self):
+        """Raise :class:`TraceError` on the first structural problem."""
+        diagnostics = self.validate()
+        if diagnostics:
+            raise TraceError(diagnostics[0].message)
+        return self
 
     def __repr__(self):
         return "<TraceSet kind=%s traces=%d tbbs=%d>" % (

@@ -74,7 +74,7 @@ def trace_set_from_json(document, block_index):
                     "duplicate trace entry %#x" % trace.entry
                 )
             trace_set.by_entry[trace.entry] = trace
-        trace_set.validate()
+        trace_set.check()
         return trace_set
     except (KeyError, TypeError, IndexError) as error:
         raise SerializationError("malformed trace document: %s" % error) from None

@@ -1,0 +1,175 @@
+"""High-level verification entry points.
+
+Everything here builds a :class:`~repro.verify.engine.Subject` with
+whatever facets are available, runs one :class:`RuleEngine` pass, and
+returns the :class:`~repro.verify.diagnostics.Report`.  The snapshot
+helpers additionally *deep-decode*: when the TEAB bytes scan clean,
+the decoded automaton (and, given a program image, the trace set) is
+added to the same subject so the automaton/CFG/compiled families run
+over the decoded content in the same report.
+
+All ``repro`` imports outside the verify package are function-level:
+these helpers are called from ``traces``, ``core``, ``store`` and
+``service``, and must never create an import cycle.
+"""
+
+from repro.verify.engine import RuleEngine, Subject, all_rules
+
+
+def default_engine(disabled=(), strict=False, obs=None):
+    """A :class:`RuleEngine` over the full built-in catalog."""
+    return RuleEngine(all_rules(), disabled=disabled, strict=strict, obs=obs)
+
+
+def _engine(engine, obs):
+    return engine if engine is not None else default_engine(obs=obs)
+
+
+def verify_tea(tea, trace_set=None, program=None, compiled=None,
+               source="<tea>", engine=None, obs=None):
+    """Verify a built automaton (plus optional companion facets)."""
+    subject = Subject(source=source, tea=tea, trace_set=trace_set,
+                      program=program, compiled=compiled)
+    return _engine(engine, obs).verify(subject)
+
+
+def verify_trace_set(trace_set, program=None, source="<traces>",
+                     engine=None, obs=None):
+    """Verify a trace set (structure plus, given a program, CFG rules)."""
+    subject = Subject(source=source, trace_set=trace_set, program=program)
+    return _engine(engine, obs).verify(subject)
+
+
+def verify_compiled(compiled, tea=None, source="<compiled>", engine=None,
+                    obs=None):
+    """Verify a compiled lowering (plus equivalence when ``tea`` given)."""
+    subject = Subject(source=source, compiled=compiled, tea=tea)
+    return _engine(engine, obs).verify(subject)
+
+
+def verify_snapshot_bytes(data, program=None, source="<snapshot>",
+                          engine=None, obs=None, deep=True):
+    """Verify TEAB snapshot bytes.
+
+    The snapshot family always runs.  With ``deep=True`` (default) and
+    structurally sound bytes, the snapshot is also lowered to a
+    :class:`~repro.core.compiled.CompiledTea` — and, when ``program``
+    is provided, fully decoded to a trace set + automaton — so the
+    automaton, CFG and compiled families check the decoded content in
+    the same report.
+    """
+    subject = Subject(source=source, snapshot=data)
+    if deep:
+        from repro.errors import SerializationError
+        from repro.verify.rules_snapshot import scan_snapshot
+
+        scan = scan_snapshot(data)
+        sound = (scan.payload_scanned and not scan.envelope
+                 and not scan.structure)
+        if sound:
+            from repro.store.binary import compile_tea_binary
+
+            try:
+                subject.compiled = compile_tea_binary(data, verify=False)
+            except (SerializationError, ValueError):
+                pass   # the snapshot rules already report the cause
+            if program is not None:
+                from repro.cfg.basic_block import BlockIndex
+                from repro.store.binary import load_tea_binary
+
+                try:
+                    trace_set, tea, _profile = load_tea_binary(
+                        data, BlockIndex(program)
+                    )
+                except SerializationError:
+                    pass
+                else:
+                    subject.trace_set = trace_set
+                    subject.tea = tea
+                    subject.program = program
+    return _engine(engine, obs).verify(subject)
+
+
+def program_for_meta(meta):
+    """Rebuild the program image a snapshot's meta names, or ``None``.
+
+    Mirrors the replay service's convention: ``meta["benchmark"]`` is a
+    :mod:`repro.workloads` benchmark name, ``meta["scale"]`` its scale.
+    """
+    benchmark = (meta or {}).get("benchmark")
+    if not benchmark:
+        return None
+    from repro.workloads import load_benchmark
+
+    scale = float(meta.get("scale", 1.0))
+    return load_benchmark(benchmark, scale=scale).program
+
+
+def verify_path(path, program=None, engine=None, obs=None, deep=True):
+    """Verify a TEA artifact on disk (TEAB snapshot or JSON document).
+
+    TEAB files may carry a benchmark name in their meta; when they do
+    and no ``program`` is passed, the program image is rebuilt from it
+    (the service convention) so the CFG family can run.  JSON TEA
+    documents *require* ``program`` — the document stores only spans.
+
+    Raises :class:`~repro.errors.SerializationError` when the file
+    cannot be read or is a JSON document without a program — usage
+    problems, distinct from verification findings.
+    """
+    import json
+
+    from repro.errors import SerializationError
+
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise SerializationError(
+            "cannot read %s: %s" % (path, error)
+        ) from None
+
+    if data[:4] == b"TEAB":
+        if program is None and deep:
+            from repro.store.binary import peek_tea_binary
+
+            try:
+                program = program_for_meta(peek_tea_binary(data)["meta"])
+            except Exception:
+                # Unknown benchmark / unreadable meta: verify what we
+                # can without a program image.
+                program = None
+        return verify_snapshot_bytes(
+            data, program=program, source=str(path), engine=engine,
+            obs=obs, deep=deep,
+        )
+
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SerializationError(
+            "%s is neither a TEAB snapshot nor a JSON TEA document: %s"
+            % (path, error)
+        ) from None
+    if program is None:
+        raise SerializationError(
+            "verifying the JSON document %s requires a program image "
+            "(pass --benchmark or --source)" % path
+        )
+    from repro.cfg.basic_block import BlockIndex
+
+    index = BlockIndex(program)
+    if isinstance(document, dict) and isinstance(document.get("traces"), dict):
+        # TEA document: the trace-set document nested under "traces".
+        from repro.core.serialization import tea_from_json
+
+        trace_set, tea, _profile = tea_from_json(document, index)
+    else:
+        # Plain trace-set document, as written by ``repro tools record``.
+        from repro.core import build_tea
+        from repro.traces.serialization import trace_set_from_json
+
+        trace_set = trace_set_from_json(document, index)
+        tea = build_tea(trace_set)
+    return verify_tea(tea, trace_set=trace_set, program=program,
+                      source=str(path), engine=engine, obs=obs)

@@ -1,0 +1,223 @@
+"""Automaton-family rules (TEA001-TEA005).
+
+These certify the Section 3 invariants: the TEA is a *deterministic*
+finite automaton whose states are the recorded TBBs plus NTE, whose
+transitions point at real states, and whose NTE head registry mirrors
+the recorded trace entries (Algorithm 1 lines 15-17).  Every rule runs
+over :class:`~repro.verify.views.AutomatonView`, so the object-graph
+``TEA`` and the flat-table ``CompiledTea`` get identical checks.
+"""
+
+from repro.verify.diagnostics import WARNING
+from repro.verify.engine import Rule, register
+
+
+class AutomatonDeterminism(Rule):
+    rule_id = "TEA001"
+    name = "automaton-determinism"
+    family = "automaton"
+    description = (
+        "A state has two outgoing transitions with the same PC label; "
+        "the TEA must be a deterministic automaton."
+    )
+    paper = "Section 3, Definition 4 (the TEA is a DFA)"
+    requires = ("views",)
+
+    def check(self, subject):
+        for view in subject.views:
+            for sid in range(view.n_states):
+                seen = set()
+                for label, dest in view.edges[sid]:
+                    if label not in seen:
+                        seen.add(label)
+                    else:
+                        # Any duplicate label breaks determinism, even a
+                        # repeat of the same destination (the table no
+                        # longer encodes a function).
+                        yield self.diag(
+                            "state %s has duplicate transition label %#x "
+                            "(%s representation)"
+                            % (view.state_label(sid), label, view.kind),
+                            location=view.state_label(sid),
+                            label=label,
+                            representation=view.kind,
+                        )
+
+
+class AutomatonDanglingTarget(Rule):
+    rule_id = "TEA002"
+    name = "automaton-dangling-target"
+    family = "automaton"
+    description = (
+        "A transition or head points at a state id outside the state "
+        "table."
+    )
+    paper = "Section 3 (transition function is total over the states)"
+    requires = ("views",)
+
+    def check(self, subject):
+        for view in subject.views:
+            n_states = view.n_states
+            for sid in range(n_states):
+                for label, dest in view.edges[sid]:
+                    if not 0 <= dest < n_states:
+                        yield self.diag(
+                            "transition %s --%#x--> sid=%d targets a "
+                            "state outside the %d-state table (%s)"
+                            % (view.state_label(sid), label, dest,
+                               n_states, view.kind),
+                            location=view.state_label(sid),
+                            label=label,
+                            dest=dest,
+                            representation=view.kind,
+                        )
+            for entry, dest in view.heads:
+                if not 0 <= dest < n_states:
+                    yield self.diag(
+                        "head entry %#x targets sid=%d outside the "
+                        "%d-state table (%s)"
+                        % (entry, dest, n_states, view.kind),
+                        location="heads",
+                        entry=entry,
+                        dest=dest,
+                        representation=view.kind,
+                    )
+
+
+class AutomatonUnreachableState(Rule):
+    rule_id = "TEA003"
+    name = "automaton-unreachable-state"
+    family = "automaton"
+    severity = WARNING
+    description = (
+        "A TBB state cannot be reached from NTE via heads or "
+        "transitions; it is dead weight in the dispatch tables."
+    )
+    paper = "Section 3, Figure 3 (all trace states hang off NTE)"
+    requires = ("views",)
+
+    def check(self, subject):
+        for view in subject.views:
+            reachable = view.reachable()
+            for sid in range(view.n_states):
+                if sid not in reachable:
+                    yield self.diag(
+                        "state %s is unreachable from NTE (%s)"
+                        % (view.state_label(sid), view.kind),
+                        location=view.state_label(sid),
+                        representation=view.kind,
+                    )
+
+
+class AutomatonNteConsistency(Rule):
+    rule_id = "TEA004"
+    name = "automaton-nte-consistency"
+    family = "automaton"
+    description = (
+        "The NTE state is malformed: flagged in-trace, carrying "
+        "explicit transitions, or targeted by a head entry."
+    )
+    paper = "Section 3 (NTE models execution outside any trace)"
+    requires = ("views",)
+
+    def check(self, subject):
+        from repro.core.automaton import NTE_SID
+
+        for view in subject.views:
+            if view.n_states < 1:
+                yield self.diag(
+                    "automaton has no states at all (%s)" % view.kind,
+                    location="NTE",
+                    representation=view.kind,
+                )
+                continue
+            if view.in_trace[NTE_SID]:
+                yield self.diag(
+                    "NTE is flagged as an in-trace state (%s)" % view.kind,
+                    location="NTE",
+                    representation=view.kind,
+                )
+            if view.edges[NTE_SID]:
+                yield self.diag(
+                    "NTE carries %d explicit transitions; NTE edges must "
+                    "come from the head registry (%s)"
+                    % (len(view.edges[NTE_SID]), view.kind),
+                    location="NTE",
+                    representation=view.kind,
+                )
+            for entry, dest in view.heads:
+                if dest == NTE_SID:
+                    yield self.diag(
+                        "head entry %#x targets NTE itself (%s)"
+                        % (entry, view.kind),
+                        location="heads",
+                        entry=entry,
+                        representation=view.kind,
+                    )
+                elif (0 <= dest < view.n_states
+                        and not view.in_trace[dest]):
+                    yield self.diag(
+                        "head entry %#x targets %s, which is not an "
+                        "in-trace state (%s)"
+                        % (entry, view.state_label(dest), view.kind),
+                        location="heads",
+                        entry=entry,
+                        representation=view.kind,
+                    )
+
+
+class AutomatonHeadMismatch(Rule):
+    rule_id = "TEA005"
+    name = "automaton-head-mismatch"
+    family = "automaton"
+    description = (
+        "The NTE head registry disagrees with the recorded trace "
+        "entries: a trace has no head, a head has no trace, or a head "
+        "points at the wrong TBB."
+    )
+    paper = "Algorithm 1 lines 15-17 (one head per recorded trace)"
+    requires = ("tea", "trace_set")
+
+    def check(self, subject):
+        tea = subject.tea
+        trace_set = subject.trace_set
+        for trace in trace_set:
+            if not trace.tbbs:
+                continue   # the trace family (TEA040) owns empty traces
+            entry = trace.tbbs[0].block.start
+            head = tea.heads.get(entry)
+            if head is None:
+                yield self.diag(
+                    "trace T%d (entry %#x) has no head registration"
+                    % (trace.trace_id, entry),
+                    location="T%d" % trace.trace_id,
+                    trace=trace.trace_id,
+                    entry=entry,
+                )
+            elif head.tbb is None or (
+                    head.tbb.trace_id != trace.trace_id
+                    or head.tbb.index != 0):
+                yield self.diag(
+                    "head at %#x points to %s, not trace T%d's first TBB"
+                    % (entry, head.name, trace.trace_id),
+                    location="T%d" % trace.trace_id,
+                    trace=trace.trace_id,
+                    entry=entry,
+                )
+        recorded = {
+            trace.tbbs[0].block.start for trace in trace_set if trace.tbbs
+        }
+        for entry, head in tea.heads.items():
+            if entry not in recorded:
+                yield self.diag(
+                    "head entry %#x matches no recorded trace" % entry,
+                    location="heads",
+                    entry=entry,
+                )
+
+
+register(AutomatonDeterminism())
+register(AutomatonDanglingTarget())
+register(AutomatonUnreachableState())
+register(AutomatonNteConsistency())
+register(AutomatonHeadMismatch())

@@ -1,0 +1,166 @@
+"""CFG-consistency rules (TEA010-TEA012).
+
+A recorded trace claims to be a path the program actually executed, so
+every in-trace edge must be *statically feasible*: the label (the
+successor block's start PC) must be one of the terminator's possible
+successors in the :mod:`repro.cfg` graph.  Side-exit targets likewise
+must be real program addresses, and no trace may carry control flow
+out of a ``hlt`` — the machine stops there.
+
+All three rules need the trace set **and** the program image the
+traces were recorded against (``Subject.program``); without a program
+they simply do not run.
+"""
+
+from repro.verify.engine import Rule, register
+
+
+def _allowed_labels(program, block):
+    """Statically feasible successor PCs of ``block``.
+
+    Returns ``None`` when the terminator's targets are statically
+    unknown (``ret`` / indirect transfers) — any real instruction
+    address is then acceptable.
+    """
+    terminator = block.terminator
+    if terminator is None:
+        return frozenset()
+    if terminator.is_control and (terminator.is_ret
+                                  or terminator.is_indirect):
+        return None
+    if terminator.is_control and terminator.opcode == "hlt":
+        return frozenset()
+    if not terminator.is_control:
+        return frozenset((terminator.fallthrough,))
+    return frozenset(program.static_successors(terminator))
+
+
+class CfgInfeasibleEdge(Rule):
+    rule_id = "TEA010"
+    name = "cfg-infeasible-edge"
+    family = "cfg"
+    description = (
+        "An in-trace edge takes a transition the program's static CFG "
+        "does not allow; the trace is not a feasible path."
+    )
+    paper = "Section 2, Figure 2 (traces are paths through the CFG)"
+    requires = ("trace_set", "program")
+
+    def check(self, subject):
+        from repro.cfg.cfg import build_cfg
+
+        program = subject.program
+        cfg = build_cfg(program)
+        for trace in subject.trace_set:
+            for tbb in trace:
+                if not program.has_instruction(tbb.block.start):
+                    yield self.diag(
+                        "%s starts at %#x, which is not an instruction "
+                        "in the program" % (tbb.name, tbb.block.start),
+                        location=tbb.name,
+                        trace=trace.trace_id,
+                        start=tbb.block.start,
+                    )
+                    continue
+                allowed = _allowed_labels(program, tbb.block)
+                for label in tbb.successors:
+                    if allowed is None:
+                        # Indirect/ret terminator: targets are unknown
+                        # statically, but must still be real code.
+                        if not program.has_instruction(label):
+                            yield self.diag(
+                                "%s takes an indirect edge to %#x, "
+                                "which is not program code"
+                                % (tbb.name, label),
+                                location=tbb.name,
+                                trace=trace.trace_id,
+                                label=label,
+                            )
+                        continue
+                    if label not in allowed:
+                        yield self.diag(
+                            "%s has an edge labelled %#x that its "
+                            "terminator cannot reach (feasible: %s)"
+                            % (tbb.name, label,
+                               ", ".join("%#x" % a for a in
+                                         sorted(allowed)) or "none"),
+                            location=tbb.name,
+                            trace=trace.trace_id,
+                            label=label,
+                        )
+                    elif (tbb.block.start in cfg.blocks
+                            and label in cfg.blocks
+                            and cfg.blocks[tbb.block.start].end
+                            == tbb.block.end
+                            and not cfg.graph.has_edge(
+                                tbb.block.start, label)):
+                        # The dynamic block coincides with a static CFG
+                        # block, yet the graph lacks the edge — the
+                        # trace and the decoded CFG disagree.
+                        yield self.diag(
+                            "edge %s -> %#x is missing from the static "
+                            "CFG" % (tbb.name, label),
+                            location=tbb.name,
+                            trace=trace.trace_id,
+                            label=label,
+                        )
+
+
+class CfgSideExitTarget(Rule):
+    rule_id = "TEA011"
+    name = "cfg-side-exit-target"
+    family = "cfg"
+    description = (
+        "A side-exit label points outside the program image; the exit "
+        "stub would transfer to a non-code address."
+    )
+    paper = "Section 3 (side exits become NTE/trace-entry transitions)"
+    requires = ("trace_set", "program")
+
+    def check(self, subject):
+        program = subject.program
+        for trace in subject.trace_set:
+            for tbb in trace:
+                for label in tbb.exit_labels():
+                    if label is None:   # statically unknown (ret/indirect)
+                        continue
+                    if not program.has_instruction(label):
+                        yield self.diag(
+                            "%s has a side exit to %#x, which is not an "
+                            "instruction in the program"
+                            % (tbb.name, label),
+                            location=tbb.name,
+                            trace=trace.trace_id,
+                            label=label,
+                        )
+
+
+class CfgHltCrossing(Rule):
+    rule_id = "TEA012"
+    name = "cfg-hlt-crossing"
+    family = "cfg"
+    description = (
+        "A trace continues past a hlt-terminated block; execution "
+        "cannot cross a machine halt."
+    )
+    paper = "Section 2 (a trace ends where execution ends)"
+    requires = ("trace_set", "program")
+
+    def check(self, subject):
+        for trace in subject.trace_set:
+            for tbb in trace:
+                terminator = tbb.block.terminator
+                if (terminator is not None
+                        and terminator.opcode == "hlt"
+                        and tbb.successors):
+                    yield self.diag(
+                        "%s terminates in hlt but carries %d outgoing "
+                        "in-trace edge(s)" % (tbb.name, len(tbb.successors)),
+                        location=tbb.name,
+                        trace=trace.trace_id,
+                    )
+
+
+register(CfgInfeasibleEdge())
+register(CfgSideExitTarget())
+register(CfgHltCrossing())

@@ -1,0 +1,417 @@
+"""TEAB snapshot rules (TEA020-TEA023).
+
+The binary codec (:mod:`repro.store.binary`) already rejects the worst
+corruption — bad magic, CRC mismatch, truncated varints — but it stops
+at the first problem and it *accepts* some damage silently: unknown
+flag bits, non-monotone transition/head tables (the deltas are zigzag
+encoded, so a decreasing label decodes fine), and overlong varint
+encodings (``0x80 0x00`` for zero) that break the content-addressing
+contract because two byte strings decode to the same automaton.
+
+This module re-walks the TEAB v1 grammar with its own *collecting*
+scanner: every finding becomes a diagnostic, nothing raises, and every
+varint read is simultaneously re-encoded canonically so the
+decode -> re-encode byte-identity check (TEA023) falls out of the scan
+for free.
+"""
+
+import json
+
+from repro.verify.engine import Rule, register
+
+
+class _ScanError(Exception):
+    """Internal: the payload cannot be scanned past this point."""
+
+
+class _Scanner:
+    """Bounded TEAB payload reader that re-encodes canonically as it goes.
+
+    Mirrors :class:`repro.store.binary._Reader`, but every value read
+    is appended (in canonical LEB128) to :attr:`canon`; after a full
+    scan ``canon == data[start:end]`` iff the payload uses canonical
+    encodings throughout.
+    """
+
+    __slots__ = ("data", "pos", "end", "canon")
+
+    def __init__(self, data, start, end):
+        self.data = data
+        self.pos = start
+        self.end = end
+        self.canon = bytearray()
+
+    def uvarint(self):
+        from repro.store.binary import write_uvarint
+
+        result = 0
+        shift = 0
+        data = self.data
+        pos = self.pos
+        end = self.end
+        while True:
+            if pos >= end:
+                raise _ScanError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise _ScanError("oversized varint")
+        self.pos = pos
+        write_uvarint(self.canon, result)
+        return result
+
+    def svarint(self):
+        from repro.store.binary import unzigzag
+
+        return unzigzag(self.uvarint())
+
+    def take(self, count):
+        if self.pos + count > self.end:
+            raise _ScanError("truncated section")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        self.canon += chunk
+        return chunk
+
+    def string(self):
+        raw = self.take(self.uvarint())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise _ScanError("string is not valid UTF-8") from None
+
+    def optional_uvarint(self):
+        if self.uvarint() == 0:
+            return None
+        return self.uvarint()
+
+    @property
+    def exhausted(self):
+        return self.pos >= self.end
+
+
+class SnapshotScan:
+    """Result of one collecting scan over snapshot bytes.
+
+    ``envelope`` / ``structure`` / ``order`` / ``roundtrip`` are lists
+    of ``(message, data_dict)`` findings, one list per rule family
+    member.  An envelope failure aborts the payload scan (the other
+    lists stay empty — the envelope finding is the root cause).
+    """
+
+    __slots__ = ("envelope", "structure", "order", "roundtrip",
+                 "payload_scanned")
+
+    def __init__(self):
+        self.envelope = []
+        self.structure = []
+        self.order = []
+        self.roundtrip = []
+        self.payload_scanned = False
+
+
+def scan_snapshot(data):
+    """Structurally scan TEAB bytes; returns a :class:`SnapshotScan`."""
+    from repro.store.binary import (
+        BINARY_VERSION, FLAG_META, FLAG_PROFILE, MAGIC,
+    )
+    import zlib
+
+    scan = SnapshotScan()
+    min_size = len(MAGIC) + 2 + 4
+    if len(data) < min_size:
+        scan.envelope.append((
+            "snapshot is %d bytes, shorter than the %d-byte minimum "
+            "envelope" % (len(data), min_size),
+            {"size": len(data)},
+        ))
+        return scan
+    if data[:4] != MAGIC:
+        scan.envelope.append((
+            "bad magic %r (expected %r)" % (bytes(data[:4]), MAGIC),
+            {"magic": repr(bytes(data[:4]))},
+        ))
+        return scan
+    version = data[4]
+    if version != BINARY_VERSION:
+        scan.envelope.append((
+            "unsupported snapshot version %d (this codec reads v%d)"
+            % (version, BINARY_VERSION),
+            {"version": version},
+        ))
+        return scan
+    flags = data[5]
+    known = FLAG_PROFILE | FLAG_META
+    if flags & ~known:
+        scan.envelope.append((
+            "unknown flag bits %#04x set (known mask %#04x); a newer "
+            "or corrupted writer produced this snapshot"
+            % (flags & ~known, known),
+            {"flags": flags},
+        ))
+        return scan
+    stored_crc = int.from_bytes(data[-4:], "little")
+    actual_crc = zlib.crc32(data[:-4])
+    if stored_crc != actual_crc:
+        scan.envelope.append((
+            "CRC mismatch: stored %08x, computed %08x"
+            % (stored_crc, actual_crc),
+            {"stored": stored_crc, "computed": actual_crc},
+        ))
+        return scan
+
+    scanner = _Scanner(data, 6, len(data) - 4)
+    try:
+        _scan_payload(scanner, flags, scan)
+        scan.payload_scanned = True
+    except _ScanError as error:
+        scan.structure.append((
+            "payload scan failed at byte %d: %s" % (scanner.pos, error),
+            {"offset": scanner.pos},
+        ))
+        return scan
+
+    if not scanner.exhausted:
+        scan.structure.append((
+            "%d trailing byte(s) after the snapshot payload"
+            % (scanner.end - scanner.pos),
+            {"trailing": scanner.end - scanner.pos},
+        ))
+    elif bytes(scanner.canon) != bytes(data[6:len(data) - 4]):
+        # Same decoded values, different bytes: some varint is overlong
+        # (or a string length disagrees).  Find the first divergence for
+        # the message.
+        canon = bytes(scanner.canon)
+        original = bytes(data[6:len(data) - 4])
+        offset = next(
+            (i for i, (a, b) in enumerate(zip(canon, original)) if a != b),
+            min(len(canon), len(original)),
+        )
+        scan.roundtrip.append((
+            "payload is not canonically encoded: re-encoding the "
+            "decoded values diverges at payload byte %d (snapshot "
+            "byte %d); content addressing requires canonical varints"
+            % (offset, offset + 6),
+            {"offset": offset + 6},
+        ))
+    return scan
+
+
+def _scan_payload(scanner, flags, scan):
+    """Walk the whole TEAB v1 grammar, collecting findings into ``scan``."""
+    from repro.store.binary import FLAG_META, FLAG_PROFILE
+
+    if flags & FLAG_META:
+        meta_text = scanner.string()
+        try:
+            json.loads(meta_text)
+        except json.JSONDecodeError as error:
+            scan.structure.append((
+                "meta section is not valid JSON: %s" % error, {},
+            ))
+
+    # -- traces section ------------------------------------------------
+    scanner.string()                       # trace-set kind
+    n_traces = scanner.uvarint()
+    tbb_keys = set()                       # (trace_id, index)
+    entries = set()
+    for _ in range(n_traces):
+        trace_id = scanner.uvarint()
+        scanner.string()                   # trace kind
+        scanner.optional_uvarint()         # anchor
+        n_tbbs = scanner.uvarint()
+        if n_tbbs == 0:
+            scan.structure.append((
+                "trace T%d has no TBBs" % trace_id,
+                {"trace": trace_id},
+            ))
+        previous = 0
+        entry = None
+        for index in range(n_tbbs):
+            start = previous + scanner.svarint()
+            length = scanner.uvarint()
+            if start < 0 or length < 0:
+                scan.structure.append((
+                    "trace T%d TBB #%d spans negative addresses "
+                    "(%d..%d)" % (trace_id, index, start, start + length),
+                    {"trace": trace_id, "index": index},
+                ))
+            if index == 0:
+                entry = start
+            tbb_keys.add((trace_id, index))
+            previous = start
+        if entry is not None:
+            if entry in entries:
+                scan.structure.append((
+                    "duplicate trace entry %#x (trace T%d)"
+                    % (entry, trace_id),
+                    {"trace": trace_id, "entry": entry},
+                ))
+            entries.add(entry)
+        n_edges = scanner.uvarint()
+        previous = 0
+        for _ in range(n_edges):
+            from_index = previous + scanner.uvarint()
+            to_index = scanner.uvarint()
+            if from_index >= n_tbbs or to_index >= n_tbbs:
+                scan.structure.append((
+                    "trace T%d edge #%d -> #%d is out of range "
+                    "(%d TBBs)" % (trace_id, from_index, to_index, n_tbbs),
+                    {"trace": trace_id},
+                ))
+            previous = from_index
+
+    # -- automaton section ---------------------------------------------
+    n_states = scanner.uvarint()
+    if n_states < 1:
+        scan.structure.append((
+            "automaton section declares %d states; the NTE state is "
+            "mandatory" % n_states, {},
+        ))
+    seen_refs = set()
+    for sid in range(1, max(n_states, 1)):
+        key = (scanner.uvarint(), scanner.uvarint())
+        if key not in tbb_keys:
+            scan.structure.append((
+                "state %d refers to unknown TBB (T%d, #%d)"
+                % (sid, key[0], key[1]),
+                {"sid": sid},
+            ))
+        if key in seen_refs:
+            scan.structure.append((
+                "two states refer to the same TBB (T%d, #%d)"
+                % (key[0], key[1]),
+                {"sid": sid},
+            ))
+        seen_refs.add(key)
+    for sid in range(max(n_states, 1)):
+        n_transitions = scanner.uvarint()
+        previous = 0
+        for position in range(n_transitions):
+            label = previous + scanner.svarint()
+            dest = scanner.uvarint()
+            if position and label <= previous:
+                scan.order.append((
+                    "state %d transition labels are not strictly "
+                    "increasing (%#x after %#x)" % (sid, label, previous),
+                    {"sid": sid, "label": label},
+                ))
+            if not 0 <= dest < n_states:
+                scan.structure.append((
+                    "state %d transition on %#x targets unknown state "
+                    "%d" % (sid, label, dest),
+                    {"sid": sid, "dest": dest},
+                ))
+            previous = label
+    n_heads = scanner.uvarint()
+    previous = 0
+    for position in range(n_heads):
+        entry = previous + scanner.svarint()
+        sid = scanner.uvarint()
+        if position and entry <= previous:
+            scan.order.append((
+                "head entries are not strictly increasing (%#x after "
+                "%#x)" % (entry, previous),
+                {"entry": entry},
+            ))
+        if not 0 < sid < n_states:
+            scan.structure.append((
+                "head entry %#x targets unknown state %d" % (entry, sid),
+                {"entry": entry, "sid": sid},
+            ))
+        previous = entry
+
+    # -- profile section -----------------------------------------------
+    if flags & FLAG_PROFILE:
+        n_counts = scanner.uvarint()
+        for _ in range(n_counts):
+            key = (scanner.uvarint(), scanner.uvarint())
+            scanner.uvarint()              # count
+            if key not in tbb_keys:
+                scan.structure.append((
+                    "profile count refers to unknown TBB (T%d, #%d)"
+                    % key, {},
+                ))
+        for map_index in range(3):
+            n_items = scanner.uvarint()
+            previous = None
+            for _ in range(n_items):
+                trace_id = scanner.uvarint()
+                scanner.uvarint()          # value
+                if previous is not None and trace_id <= previous:
+                    scan.order.append((
+                        "profile map %d keys are not strictly "
+                        "increasing (T%d after T%d)"
+                        % (map_index, trace_id, previous),
+                        {"map": map_index},
+                    ))
+                previous = trace_id
+
+
+class _SnapshotRule(Rule):
+    """Shared plumbing: scan the snapshot, yield one finding family."""
+
+    family = "snapshot"
+    requires = ("snapshot",)
+    scan_field = None
+
+    def check(self, subject):
+        scan = scan_snapshot(subject.snapshot)
+        for message, data in getattr(scan, self.scan_field):
+            yield self.diag(message, **data)
+
+
+class SnapshotEnvelope(_SnapshotRule):
+    rule_id = "TEA020"
+    name = "snapshot-envelope"
+    description = (
+        "The TEAB envelope is invalid: wrong magic, unsupported "
+        "version, unknown flag bits, or CRC mismatch."
+    )
+    paper = "Section 5 (storing trace shape for reuse)"
+    scan_field = "envelope"
+
+
+class SnapshotStructure(_SnapshotRule):
+    rule_id = "TEA021"
+    name = "snapshot-structure"
+    description = (
+        "A payload section is malformed: truncated varint, "
+        "out-of-range index, unknown TBB reference, or trailing bytes."
+    )
+    paper = "Section 5 (storing trace shape for reuse)"
+    scan_field = "structure"
+
+
+class SnapshotOrder(_SnapshotRule):
+    rule_id = "TEA022"
+    name = "snapshot-order"
+    description = (
+        "A delta-encoded table is not strictly increasing (transition "
+        "labels, head entries, or profile map keys); the codec always "
+        "writes them sorted."
+    )
+    paper = "Section 4.2 (sorted dispatch tables)"
+    scan_field = "order"
+
+
+class SnapshotRoundtrip(_SnapshotRule):
+    rule_id = "TEA023"
+    name = "snapshot-roundtrip"
+    description = (
+        "Decoding then re-encoding the payload does not reproduce the "
+        "original bytes (overlong varints); content addressing "
+        "requires canonical encoding."
+    )
+    paper = "Section 5 (content-addressed snapshot reuse)"
+    scan_field = "roundtrip"
+
+
+register(SnapshotEnvelope())
+register(SnapshotStructure())
+register(SnapshotOrder())
+register(SnapshotRoundtrip())

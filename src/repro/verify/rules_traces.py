@@ -1,0 +1,78 @@
+"""Trace-model rules (TEA040-TEA043).
+
+The structural logic lives on the model itself —
+:meth:`repro.traces.model.Trace.validate` and
+:meth:`repro.traces.model.TraceSet.validate` return diagnostics with
+these rule ids — so recorders, loaders and the verifier all share one
+implementation.  These rule classes are the engine adapters: they give
+the ids a place in the catalog (severity, description, paper anchor
+for SARIF/docs) and route the model's findings into reports.
+
+``TEA041``/``TEA042``/``TEA043`` findings are produced by the same
+``validate`` walk that backs ``TEA040``; only the routing rule
+(``TraceStructure``) invokes the model, and the other three exist so
+the catalog documents every id.  Disabling ``TEA040`` therefore
+disables the whole family — the ids are one walk, not four.
+"""
+
+from repro.verify.engine import Rule, register
+
+
+class TraceStructure(Rule):
+    rule_id = "TEA040"
+    name = "trace-structure"
+    family = "traces"
+    description = (
+        "A trace is structurally broken: empty, or its TBB indices "
+        "disagree with their positions."
+    )
+    paper = "Section 2, Definition 3 (a trace is TBBs plus edges)"
+    requires = ("trace_set",)
+
+    def check(self, subject):
+        return iter(subject.trace_set.validate())
+
+
+class _DocumentedById(Rule):
+    """Catalog-only rule: findings come from the TEA040 walk."""
+
+    family = "traces"
+    requires = ("trace_set",)
+
+    def check(self, subject):
+        return iter(())
+
+
+class TraceDanglingEdge(_DocumentedById):
+    rule_id = "TEA041"
+    name = "trace-dangling-edge"
+    description = (
+        "An in-trace edge points at a TBB index outside the trace."
+    )
+    paper = "Section 2, Definition 3 (edges connect TBBs of the trace)"
+
+
+class TraceLabelMismatch(_DocumentedById):
+    rule_id = "TEA042"
+    name = "trace-label-mismatch"
+    description = (
+        "An edge's PC label is not the start address of the successor "
+        "TBB it targets."
+    )
+    paper = "Section 3 (labels are successor start PCs)"
+
+
+class TraceDuplicateEntry(_DocumentedById):
+    rule_id = "TEA043"
+    name = "trace-duplicate-entry"
+    description = (
+        "Two traces share an entry address, or the entry index "
+        "disagrees with the trace list."
+    )
+    paper = "Algorithm 1 lines 15-17 (one head per entry address)"
+
+
+register(TraceStructure())
+register(TraceDanglingEdge())
+register(TraceLabelMismatch())
+register(TraceDuplicateEntry())

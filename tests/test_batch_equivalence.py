@@ -118,10 +118,11 @@ def _assert_equivalent(reference, candidate):
 def test_batched_run_matches_step_for_all_index_kinds(workload, chunk):
     transitions, tea, cache_kind, cache_size = workload
     for kind in INDEX_KINDS:
-        config = lambda: ReplayConfig(
-            global_index=kind, local_cache=True,
-            cache_kind=cache_kind, cache_size=cache_size,
-        )
+        def config(kind=kind):
+            return ReplayConfig(
+                global_index=kind, local_cache=True,
+                cache_kind=cache_kind, cache_size=cache_size,
+            )
         stepwise = _drive(tea, transitions, config(), batched=False)
         batched = _drive(tea, transitions, config(), batched=True)
         _assert_equivalent(stepwise, batched)
@@ -135,7 +136,8 @@ def test_batched_run_matches_step_for_all_index_kinds(workload, chunk):
 def test_batched_run_matches_step_without_local_cache(workload):
     transitions, tea, _, _ = workload
     for kind in INDEX_KINDS:
-        config = lambda: ReplayConfig(global_index=kind, local_cache=False)
+        def config(kind=kind):
+            return ReplayConfig(global_index=kind, local_cache=False)
         stepwise = _drive(tea, transitions, config(), batched=False)
         batched = _drive(tea, transitions, config(), batched=True)
         _assert_equivalent(stepwise, batched)
@@ -155,8 +157,9 @@ def test_cache_miss_charges_match_exactly(nested_program, nested_traces):
     Pin(nested_program,
         tool=CallbackTool(on_transition=transitions.append)).run()
     tea = build_tea(nested_traces)
-    config = lambda: ReplayConfig(global_index="bptree", local_cache=True,
-                                  cache_kind="lru", cache_size=1)
+    def config():
+        return ReplayConfig(global_index="bptree", local_cache=True,
+                            cache_kind="lru", cache_size=1)
     stepwise = _drive(tea, transitions, config(), batched=False)
 
     # Re-drive stepwise with every individual "cache" charge recorded,

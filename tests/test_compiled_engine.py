@@ -105,10 +105,11 @@ def test_compiled_matches_step_for_all_index_kinds(workload, chunk):
     transitions, tea, cache_kind, cache_size = workload
     compiled_tea = CompiledTea.from_tea(tea)
     for kind in INDEX_KINDS:
-        config = lambda: ReplayConfig(
-            global_index=kind, local_cache=True,
-            cache_kind=cache_kind, cache_size=cache_size,
-        )
+        def config(kind=kind):
+            return ReplayConfig(
+                global_index=kind, local_cache=True,
+                cache_kind=cache_kind, cache_size=cache_size,
+            )
         reference = _stepwise(tea, transitions, config())
         one_batch = _compiled(compiled_tea, transitions, config())
         _assert_identical(reference, one_batch)
@@ -122,7 +123,8 @@ def test_compiled_matches_step_without_local_cache(workload):
     transitions, tea, _, _ = workload
     compiled_tea = CompiledTea.from_tea(tea)
     for kind in INDEX_KINDS:
-        config = lambda: ReplayConfig(global_index=kind, local_cache=False)
+        def config(kind=kind):
+            return ReplayConfig(global_index=kind, local_cache=False)
         reference = _stepwise(tea, transitions, config())
         candidate = _compiled(compiled_tea, transitions, config())
         _assert_identical(reference, candidate)

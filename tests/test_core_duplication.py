@@ -26,10 +26,12 @@ def test_duplicate_factor_three(simple_loop_program):
     trace = trace_set.trace_at(simple_loop_program.label_addr("loop"))
     tripled = duplicate_trace(trace, factor=3)
     assert len(tripled) == 3 * len(trace)
-    tripled.validate()
+    assert tripled.validate() == []
     # The copies chain 0 -> 1 -> 2 -> 0 through the cycle edges.
     size = len(trace)
-    last_of = lambda copy: (copy + 1) * size - 1
+
+    def last_of(copy):
+        return (copy + 1) * size - 1
     for copy in range(3):
         cycle_target = tripled.tbbs[last_of(copy)].successors[trace.entry]
         assert cycle_target == ((copy + 1) % 3) * size

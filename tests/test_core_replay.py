@@ -211,7 +211,11 @@ def test_on_step_observer_called(nested_program):
 
     def attach(pin):
         original_attach(pin)
-        tool.replayer.on_step = lambda prev, new, t: seen.append((prev, new))
+
+        def observe(prev, new, t):
+            seen.append((prev, new))
+
+        tool.replayer.on_step = observe
 
     tool.attach = attach
     Pin(nested_program, tool=tool).run()

@@ -73,7 +73,7 @@ def test_recording_invariants(program, strategy, threshold):
         max_instructions=2_000_000,
     ).run()
     trace_set = result.trace_set
-    trace_set.validate()
+    assert trace_set.validate() == []
     assert 0.0 <= result.coverage <= 1.0
     # Unique entries, edges label-consistent (validate checks the rest).
     entries = [trace.entry for trace in trace_set]

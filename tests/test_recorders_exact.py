@@ -207,7 +207,7 @@ def test_ctt_smaller_than_tt_on_nest_with_diamond(nested_program):
 def test_every_strategy_produces_valid_cyclic_hot_trace(strategy):
     program = assemble(PURE_LOOP)
     trace_set = record_traces(program, strategy=strategy).trace_set
-    trace_set.validate()
+    assert trace_set.validate() == []
     top = program.label_addr("top")
     trace = trace_set.trace_at(top)
     assert trace is not None, strategy

@@ -71,7 +71,10 @@ def test_run_falls_back_to_step_with_observer(nested_stream):
     tea, transitions = nested_stream
     seen = []
     replayer = TeaReplayer(tea, config=ReplayConfig.global_local())
-    replayer.on_step = lambda prev, new, transition: seen.append(transition)
+    def observe(prev, new, transition):
+        seen.append(transition)
+
+    replayer.on_step = observe
     replayer.run(transitions)
     # Every block observed individually (step() skips the terminal
     # next_start=None transition for observers, by design).
@@ -167,7 +170,12 @@ def test_bptree_get_descends_once():
         tree.insert(key, key * 10)
     descents = []
     original = tree._search
-    tree._search = lambda key: (descents.append(key), original(key))[1]
+
+    def counted_search(key):
+        descents.append(key)
+        return original(key)
+
+    tree._search = counted_search
     assert tree.get(33) == 330
     assert descents == [33]  # regression: get() used to descend twice
     descents.clear()

@@ -136,7 +136,7 @@ def test_duplication_invariants(trace_set, factor):
         duplicated = duplicate_trace(trace, factor=factor)
         assert len(duplicated) == factor * len(trace)
         assert duplicated.entry == trace.entry
-        duplicated.validate()
+        assert duplicated.validate() == []
         # Label alphabet is preserved.
         original_labels = {
             label for tbb in trace for label in tbb.successors

@@ -126,8 +126,10 @@ def test_validate_catches_dangling_edge(blocks):
     trace = Trace(1, "mret")
     tbb = trace.add_block(inner_block)
     tbb.successors[inner_block.start] = 5  # forged dangling edge
+    diagnostics = trace.validate()
+    assert [d.rule_id for d in diagnostics] == ["TEA041"]
     with pytest.raises(TraceError):
-        trace.validate()
+        trace.check()
 
 
 def test_validate_catches_label_mismatch(blocks):
@@ -136,8 +138,27 @@ def test_validate_catches_label_mismatch(blocks):
     trace.add_block(inner_block)
     trace.add_block(skip_block)
     trace.tbbs[0].successors[0xDEAD] = 1  # label != successor start
+    diagnostics = trace.validate()
+    assert [d.rule_id for d in diagnostics] == ["TEA042"]
     with pytest.raises(TraceError):
-        trace.validate()
+        trace.check()
+
+
+def test_validate_reports_every_problem_not_just_the_first(blocks):
+    inner_block, skip_block = blocks
+    trace = Trace(1, "mret")
+    trace.add_block(inner_block)
+    trace.add_block(skip_block)
+    trace.tbbs[0].successors[0xDEAD] = 1    # label mismatch
+    trace.tbbs[1].successors[inner_block.start] = 9  # dangling edge
+    rule_ids = sorted(d.rule_id for d in trace.validate())
+    assert rule_ids == ["TEA041", "TEA042"]
+
+
+def test_empty_trace_validates_as_structural_error():
+    trace = Trace(7, "mret")
+    diagnostics = trace.validate()
+    assert [d.rule_id for d in diagnostics] == ["TEA040"]
 
 
 def test_trace_set_rejects_duplicate_entry(blocks):
@@ -167,7 +188,7 @@ def test_trace_set_aggregates(nested_traces):
     assert len(nested_traces) >= 2
     assert nested_traces.n_tbbs >= len(nested_traces)
     assert nested_traces.code_bytes > 0
-    nested_traces.validate()
+    assert nested_traces.validate() == []
 
 
 def test_recorded_traces_have_consistent_edges(nested_traces):

@@ -146,7 +146,7 @@ def test_mret_through_calls(call_loop_program):
 def test_mfet_records_traces(nested_program):
     trace_set = record_traces(nested_program, strategy="mfet").trace_set
     assert len(trace_set) >= 1
-    trace_set.validate()
+    assert trace_set.validate() == []
 
 
 def test_mfet_covers_forward_hot_edges(call_loop_program):
@@ -242,7 +242,7 @@ def test_ctt_no_unrolling():
 
 def test_ctt_validates(nested_program):
     trace_set = record_traces(nested_program, strategy="ctt").trace_set
-    trace_set.validate()
+    assert trace_set.validate() == []
 
 
 def test_strategies_cover_same_hot_entry(nested_program):

@@ -140,4 +140,4 @@ def test_recorder_finish_discards_inflight_path():
     program = assemble(EXPLOSIVE)
     trace_set = record_traces(program, strategy="tt", hot_threshold=5,
                               max_path_blocks=64).trace_set
-    trace_set.validate()
+    assert trace_set.validate() == []

@@ -1,0 +1,633 @@
+"""The static verification subsystem (``repro.verify``).
+
+Each hand-corrupted TEAB vector trips exactly the rule built to catch
+it — including damage the CRC cannot see (the corruptions re-seal the
+checksum, so only the verifier stands between the bytes and the
+decoder).  The round-trip property pins down the other direction:
+anything the recorder produces and the store serves verifies clean.
+"""
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import (
+    CALL_LOOP_SOURCE,
+    NESTED_DIAMOND_SOURCE,
+    SIMPLE_LOOP_SOURCE,
+    record_traces,
+)
+from repro.core import build_tea
+from repro.core.compiled import CompiledTea
+from repro.errors import SerializationError, VerificationError
+from repro.isa import assemble
+from repro.store import AutomatonStore
+from repro.store.binary import (
+    compile_tea_binary,
+    dump_tea_binary,
+    write_svarint,
+    write_uvarint,
+)
+from repro.verify import (
+    all_rules,
+    default_engine,
+    reports_to_sarif,
+    rule_by_id,
+    verify_compiled,
+    verify_snapshot_bytes,
+    verify_tea,
+    verify_trace_set,
+)
+
+# ---------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def world():
+    program = assemble(NESTED_DIAMOND_SOURCE)
+    trace_set = record_traces(program).trace_set
+    tea = build_tea(trace_set)
+    return program, trace_set, tea
+
+
+@pytest.fixture(scope="module")
+def snapshot(world):
+    _, trace_set, tea = world
+    return dump_tea_binary(trace_set, tea=tea)
+
+
+def _reseal(body):
+    """Append a fresh CRC32 trailer so only the *payload* damage shows."""
+    body = bytes(body)
+    return body + zlib.crc32(body).to_bytes(4, "little")
+
+
+# ---------------------------------------------------------------------
+# catalog and engine basics
+# ---------------------------------------------------------------------
+
+
+def test_catalog_is_complete_and_stable():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+    for family, members in {
+        "automaton": ["TEA001", "TEA002", "TEA003", "TEA004", "TEA005"],
+        "cfg": ["TEA010", "TEA011", "TEA012"],
+        "snapshot": ["TEA020", "TEA021", "TEA022", "TEA023"],
+        "compiled": ["TEA030", "TEA031", "TEA032"],
+        "traces": ["TEA040", "TEA041", "TEA042", "TEA043"],
+    }.items():
+        for rule_id in members:
+            assert rule_by_id(rule_id).family == family
+
+
+def test_clean_recording_passes_every_applicable_rule(world):
+    program, trace_set, tea = world
+    report = verify_tea(tea, trace_set=trace_set, program=program,
+                        compiled=CompiledTea.from_tea(tea))
+    assert report.ok()
+    assert report.diagnostics == []
+    # All five families had their facets present.
+    assert {"TEA001", "TEA005", "TEA010", "TEA030", "TEA040"} \
+        <= set(report.rules_run)
+
+
+def test_engine_disable_and_obs_counters(world):
+    program, trace_set, tea = world
+    from repro.obs import Observability
+
+    obs = Observability()
+    engine = default_engine(disabled=("TEA003",), obs=obs)
+    report = verify_tea(tea, trace_set=trace_set, program=program,
+                        engine=engine)
+    assert "TEA003" not in report.rules_run
+    counters = obs.snapshot()["metrics"]["counters"]
+    assert counters["verify.runs"] == 1
+    assert counters["verify.rules_run"] == len(report.rules_run)
+    assert counters.get("verify.failures", 0) == 0
+
+
+# ---------------------------------------------------------------------
+# corrupted snapshot vectors (satellite 4)
+# ---------------------------------------------------------------------
+
+
+def test_stale_version_trips_envelope_rule(snapshot):
+    bad = bytearray(snapshot)
+    bad[4] = 9
+    report = verify_snapshot_bytes(_reseal(bad[:-4]), deep=False)
+    assert report.rule_ids == ["TEA020"]
+    assert "version 9" in report.errors[0].message
+
+
+def test_unknown_flag_bits_trip_envelope_rule(snapshot):
+    bad = bytearray(snapshot)
+    bad[5] |= 0x80
+    report = verify_snapshot_bytes(_reseal(bad[:-4]), deep=False)
+    assert report.rule_ids == ["TEA020"]
+
+
+def test_crc_mismatch_trips_envelope_rule(snapshot):
+    bad = bytearray(snapshot)
+    bad[-1] ^= 0xFF
+    report = verify_snapshot_bytes(bytes(bad), deep=False)
+    assert report.rule_ids == ["TEA020"]
+    assert "CRC" in report.errors[0].message
+
+
+def test_truncated_section_trips_structure_rule(snapshot):
+    # Drop the last three payload bytes and re-seal the CRC: the
+    # envelope is pristine, but the grammar runs out mid-table.
+    report = verify_snapshot_bytes(_reseal(snapshot[:-7]), deep=False)
+    assert report.rule_ids == ["TEA021"]
+
+
+def test_overlong_varint_trips_roundtrip_rule(snapshot):
+    # Payload byte 0 is the trace-set kind's string length — a
+    # single-byte varint.  Re-encode it overlong (value | 0x80, 0x00):
+    # it decodes to the same value, the CRC re-seals, every decoder
+    # accepts it — but the bytes are no longer canonical, which breaks
+    # content addressing.  Only TEA023 can see this.
+    value = snapshot[6]
+    assert value < 0x80
+    bad = snapshot[:6] + bytes([value | 0x80, 0x00]) + snapshot[7:-4]
+    data = _reseal(bad)
+    report = verify_snapshot_bytes(data, deep=False)
+    assert report.rule_ids == ["TEA023"]
+    assert report.errors[0].data["offset"] == 6
+    # The decoder itself is fooled: it reads identical values.
+    assert compile_tea_binary(data, verify=False) is not None
+    # The verify gate is not.
+    with pytest.raises(VerificationError) as excinfo:
+        compile_tea_binary(data)
+    assert excinfo.value.rule_ids == ["TEA023"]
+
+
+def _build_snapshot(nonmonotone_labels=False, nonmonotone_heads=False):
+    """Hand-encode a tiny 3-state TEAB payload byte by byte."""
+    out = bytearray()
+    out += b"TEAB"
+    out.append(1)                      # version
+    out.append(0)                      # flags: no meta, no profile
+    write_uvarint(out, 4)
+    out += b"mret"                     # trace-set kind
+    write_uvarint(out, 1)              # one trace
+    write_uvarint(out, 1)              # trace id 1
+    write_uvarint(out, 4)
+    out += b"mret"                     # trace kind
+    write_uvarint(out, 0)              # no anchor
+    write_uvarint(out, 2)              # two TBBs
+    write_svarint(out, 0x10)           # tbb0 start
+    write_uvarint(out, 4)              # tbb0 length
+    write_svarint(out, 0x10)           # tbb1 start (0x20)
+    write_uvarint(out, 4)
+    write_uvarint(out, 1)              # one edge: 0 -> 1
+    write_uvarint(out, 0)
+    write_uvarint(out, 1)
+    write_uvarint(out, 3)              # automaton: three states
+    write_uvarint(out, 1)              # sid1 = (T1, #0)
+    write_uvarint(out, 0)
+    write_uvarint(out, 1)              # sid2 = (T1, #1)
+    write_uvarint(out, 1)
+    write_uvarint(out, 0)              # NTE: no transitions
+    if nonmonotone_labels:             # sid1: labels 0x20 then 0x10
+        write_uvarint(out, 2)
+        write_svarint(out, 0x20)
+        write_uvarint(out, 2)
+        write_svarint(out, -0x10)
+        write_uvarint(out, 2)
+    else:                              # sid1: one transition to sid2
+        write_uvarint(out, 1)
+        write_svarint(out, 0x20)
+        write_uvarint(out, 2)
+    write_uvarint(out, 0)              # sid2: no transitions
+    if nonmonotone_heads:              # heads at 0x20 then 0x10
+        write_uvarint(out, 2)
+        write_svarint(out, 0x20)
+        write_uvarint(out, 2)
+        write_svarint(out, -0x10)
+        write_uvarint(out, 1)
+    else:                              # one head: 0x10 -> sid1
+        write_uvarint(out, 1)
+        write_svarint(out, 0x10)
+        write_uvarint(out, 1)
+    return _reseal(out)
+
+
+def test_hand_built_snapshot_is_sound():
+    report = verify_snapshot_bytes(_build_snapshot(), deep=False)
+    assert report.ok()
+    assert report.diagnostics == []
+
+
+def test_non_monotone_transition_labels_trip_order_rule():
+    report = verify_snapshot_bytes(
+        _build_snapshot(nonmonotone_labels=True), deep=False
+    )
+    assert report.rule_ids == ["TEA022"]
+    assert "not strictly increasing" in report.errors[0].message
+
+
+def test_non_monotone_head_entries_trip_order_rule():
+    report = verify_snapshot_bytes(
+        _build_snapshot(nonmonotone_heads=True), deep=False
+    )
+    assert report.rule_ids == ["TEA022"]
+    assert "head entries" in report.errors[0].message
+
+
+# ---------------------------------------------------------------------
+# automaton / compiled / CFG vectors
+# ---------------------------------------------------------------------
+
+
+def test_nondeterministic_automaton_trips_determinism_rule():
+    # Duplicate labels in one state's transition run: constructible
+    # (the constructor gate checks structure, not ordering), caught by
+    # TEA001.  TEA030's full ordering check fires on the same bytes,
+    # so disable it to show TEA001 alone convicts.
+    compiled = CompiledTea(
+        3, b"\x00\x01\x01",
+        trans_offset=[0, 0, 2, 2],
+        trans_labels=[0x10, 0x10], trans_dest=[2, 2],
+        head_entries=[0x30], head_sids=[1],
+    )
+    report = verify_compiled(compiled)
+    assert "TEA001" in report.rule_ids
+    isolated = verify_compiled(
+        compiled, engine=default_engine(disabled=("TEA030",))
+    )
+    assert isolated.rule_ids == ["TEA001"]
+
+
+def test_unreachable_state_is_a_warning_and_strict_blocks():
+    compiled = CompiledTea(
+        3, b"\x00\x01\x01",
+        trans_offset=[0, 0, 0, 0],
+        trans_labels=[], trans_dest=[],
+        head_entries=[0x10], head_sids=[1],   # sid 2 is unreachable
+    )
+    report = verify_compiled(compiled)
+    assert report.rule_ids == ["TEA003"]
+    assert report.ok()
+    assert not report.ok(strict=True)
+    with pytest.raises(VerificationError):
+        report.raise_on_error(strict=True)
+    report.raise_on_error()   # non-strict: warnings pass
+
+
+def test_dangling_head_trips_dangling_target_rule():
+    with pytest.raises(VerificationError) as excinfo:
+        CompiledTea(
+            2, b"\x00\x01",
+            trans_offset=[0, 0, 0],
+            trans_labels=[], trans_dest=[],
+            head_entries=[0x10], head_sids=[7],
+        )
+    assert excinfo.value.rule_ids == ["TEA030"]
+    assert isinstance(excinfo.value, ValueError)
+    assert isinstance(excinfo.value, SerializationError)
+
+
+def test_compiled_equivalence_rule_certifies_the_lowering(world):
+    _, _, tea = world
+    report = verify_compiled(CompiledTea.from_tea(tea), tea=tea)
+    assert report.ok()
+    assert "TEA032" in report.rules_run
+
+
+def test_head_registry_mismatch_trips_head_rule(world):
+    _, trace_set, _ = world
+    tea = build_tea(trace_set)
+    entry, head = next(iter(tea.heads.items()))
+    del tea.heads[entry]
+    tea.heads[entry + 1] = head   # bogus entry, missing real one
+    report = verify_tea(tea, trace_set=trace_set)
+    assert "TEA005" in report.rule_ids
+    messages = " / ".join(d.message for d in report.errors)
+    assert "no head registration" in messages
+    assert "matches no recorded trace" in messages
+
+
+def test_fake_cfg_edge_trips_infeasible_edge_rule(world):
+    program, _, _ = world
+    trace_set = record_traces(program).trace_set
+    from repro.verify.rules_cfg import _allowed_labels
+
+    injected = False
+    for trace in trace_set:
+        for source in trace:
+            allowed = _allowed_labels(program, source.block)
+            if allowed is None:
+                continue
+            for target in trace:
+                label = target.block.start
+                if label not in allowed and label not in source.successors:
+                    source.successors[label] = target.index
+                    injected = True
+                    break
+            if injected:
+                break
+        if injected:
+            break
+    assert injected, "no infeasible edge candidate in the recording"
+    report = verify_trace_set(trace_set, program=program)
+    assert report.rule_ids == ["TEA010"]
+    assert "cannot reach" in report.errors[0].message
+
+
+# ---------------------------------------------------------------------
+# round-trip property: whatever the store serves verifies clean
+# ---------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    source=st.sampled_from(
+        [NESTED_DIAMOND_SOURCE, SIMPLE_LOOP_SOURCE, CALL_LOOP_SOURCE]
+    ),
+    strategy=st.sampled_from(["mret", "tt", "ctt"]),
+    hot_threshold=st.sampled_from([5, 10, 30]),
+)
+def test_store_round_trip_verifies_clean(tmp_path_factory, source,
+                                         strategy, hot_threshold):
+    program = assemble(source)
+    trace_set = record_traces(
+        program, strategy=strategy, hot_threshold=hot_threshold
+    ).trace_set
+    store = AutomatonStore(tmp_path_factory.mktemp("roundtrip"))
+    key = store.put(trace_set, meta={"strategy": strategy})
+    report = verify_snapshot_bytes(store.get_bytes(key), program=program,
+                                   source=key)
+    assert report.ok(strict=True)
+    assert report.diagnostics == []
+
+
+# ---------------------------------------------------------------------
+# SARIF rendering
+# ---------------------------------------------------------------------
+
+
+def test_sarif_log_shape(snapshot):
+    bad = bytearray(snapshot)
+    bad[4] = 9
+    failing = verify_snapshot_bytes(_reseal(bad[:-4]), deep=False,
+                                    source="bad.teab")
+    clean = verify_snapshot_bytes(snapshot, deep=False,
+                                  source="good.teab")
+    log = reports_to_sarif([failing, clean], all_rules(),
+                           tool_version="1.0.0")
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-verify"
+    assert driver["version"] == "1.0.0"
+    rules = driver["rules"]
+    assert [r["id"] for r in rules] == [r.rule_id for r in all_rules()]
+    by_id = {r["id"]: r for r in rules}
+    assert by_id["TEA003"]["defaultConfiguration"]["level"] == "warning"
+    assert by_id["TEA020"]["defaultConfiguration"]["level"] == "error"
+    (result,) = run["results"]
+    assert result["ruleId"] == "TEA020"
+    assert result["level"] == "error"
+    assert rules[result["ruleIndex"]]["id"] == "TEA020"
+    uri = result["locations"][0]["physicalLocation"]["artifactLocation"]
+    assert uri["uri"] == "bad.teab"
+    json.dumps(log)   # must be serializable as-is
+
+
+# ---------------------------------------------------------------------
+# store gate
+# ---------------------------------------------------------------------
+
+
+def test_store_load_gate_rejects_noncanonical_snapshot(world, snapshot,
+                                                       tmp_path):
+    program, _, _ = world
+    value = snapshot[6]
+    bad = _reseal(snapshot[:6] + bytes([value | 0x80, 0x00])
+                  + snapshot[7:-4])
+    store = AutomatonStore(tmp_path / "store")
+    key = store.put_bytes(bad)   # envelope + CRC are fine
+    from repro.cfg.basic_block import BlockIndex
+
+    with pytest.raises(VerificationError) as excinfo:
+        store.load(key, BlockIndex(program))
+    assert excinfo.value.rule_ids == ["TEA023"]
+    with pytest.raises(VerificationError):
+        store.get_compiled(key)
+    counters = store.obs.snapshot()["metrics"]["counters"]
+    assert counters["store.verify_failed"] == 2
+
+    trusting = AutomatonStore(tmp_path / "store", verify_on_load=False)
+    trace_set, tea, profile = trusting.load(key, BlockIndex(program))
+    assert tea.n_states > 1
+
+
+def test_store_gate_passes_clean_snapshots(world, snapshot, tmp_path):
+    program, _, _ = world
+    store = AutomatonStore(tmp_path / "store")
+    key = store.put_bytes(snapshot)
+    from repro.cfg.basic_block import BlockIndex
+
+    store.load(key, BlockIndex(program))
+    store.get_compiled(key)
+    counters = store.obs.snapshot()["metrics"]["counters"]
+    assert counters["store.verify_ok"] == 2
+    assert counters.get("store.verify_failed", 0) == 0
+
+
+# ---------------------------------------------------------------------
+# service quarantine: corrupted snapshots degrade to structured errors
+# ---------------------------------------------------------------------
+
+
+def _noncanonical(snapshot):
+    value = snapshot[6]
+    return _reseal(snapshot[:6] + bytes([value | 0x80, 0x00])
+                   + snapshot[7:-4])
+
+
+@pytest.fixture(scope="module")
+def quarantine_store(tmp_path_factory, snapshot):
+    from pathlib import Path
+
+    golden = Path(__file__).parent / "golden" / "mcf_mret.teab"
+    store = AutomatonStore(tmp_path_factory.mktemp("svc") / "store")
+    good_key = store.put_bytes(golden.read_bytes())
+    bad_key = store.put_bytes(_noncanonical(snapshot))
+    return store, good_key, bad_key
+
+
+def test_service_preload_quarantines_corrupt_snapshot(quarantine_store):
+    from repro.service.server import TeaService
+
+    store, good_key, bad_key = quarantine_store
+    service = TeaService(store)
+    service.preload()
+    assert list(service.entries) == [good_key]
+    assert service.invalid[bad_key]["rules"] == ["TEA023"]
+    counters = service.obs.snapshot()["metrics"]["counters"]
+    assert counters["service.verify_ok"] == 1
+    assert counters["service.verify_failed"] == 1
+
+
+def test_service_rpc_reports_invalid_automaton(quarantine_store):
+    from repro.service.protocol import E_INVALID, ServiceError
+    from repro.service.testing import ServiceThread
+
+    store, good_key, bad_key = quarantine_store
+    with ServiceThread(store) as service:
+        with service.client() as client:
+            listing = client.call("snapshots")
+            assert [e["key"] for e in listing["snapshots"]] == [good_key]
+            assert [e["key"] for e in listing["invalid"]] == [bad_key]
+            assert listing["invalid"][0]["rules"] == ["TEA023"]
+            with pytest.raises(ServiceError) as excinfo:
+                client.replay(snapshot=bad_key)
+            assert excinfo.value.code == E_INVALID
+            assert "TEA023" in str(excinfo.value)
+            # The healthy snapshot still serves.
+            result = client.replay(snapshot=good_key)
+            assert result["coverage_pin"] > 0
+
+
+def test_service_refuses_store_with_only_invalid_snapshots(snapshot,
+                                                           tmp_path):
+    from repro.service.server import ServiceSetupError
+    from repro.service.testing import ServiceThread
+
+    store = AutomatonStore(tmp_path / "store")
+    store.put_bytes(_noncanonical(snapshot))
+    with pytest.raises(ServiceSetupError):
+        ServiceThread(store).start()
+
+
+# ---------------------------------------------------------------------
+# harness pre-flight
+# ---------------------------------------------------------------------
+
+
+def test_harness_preflight_verifies_once_per_benchmark():
+    from repro.harness import HarnessConfig, Runner
+
+    config = HarnessConfig(scale=0.4, hot_threshold=10,
+                           benchmarks=["171.swim"], verify=True)
+    runner = Runner(config)
+    runner.dbt_summary("171.swim", "mret")
+    runner.replay_summary("171.swim")
+    timers = runner.obs.snapshot()["metrics"]["timers"]
+    assert timers["harness.verify"]["count"] == 1  # memoized
+
+
+def test_harness_preflight_off_by_default():
+    from repro.harness import HarnessConfig, Runner
+
+    config = HarnessConfig(scale=0.4, hot_threshold=10,
+                           benchmarks=["171.swim"])
+    runner = Runner(config)
+    runner.dbt_summary("171.swim", "mret")
+    timers = runner.obs.snapshot()["metrics"]["timers"]
+    assert "harness.verify" not in timers
+
+
+def test_harness_verify_excluded_from_cache_fingerprint():
+    from repro.harness import HarnessConfig
+    from repro.harness.cache import config_fingerprint
+
+    base = dict(scale=0.4, hot_threshold=10, benchmarks=["171.swim"])
+    plain = HarnessConfig(**base)
+    verifying = HarnessConfig(verify=True, **base)
+    assert config_fingerprint(plain) == config_fingerprint(verifying)
+
+
+# ---------------------------------------------------------------------
+# CLI: repro tools verify
+# ---------------------------------------------------------------------
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_bytes(data)
+    return str(path)
+
+
+def test_cli_verify_clean_snapshot(snapshot, tmp_path, capsys):
+    from repro.tools.__main__ import main
+
+    path = _write(tmp_path, "good.teab", snapshot)
+    assert main(["verify", path]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_cli_verify_corrupt_snapshot_fails(snapshot, tmp_path, capsys):
+    from repro.tools.__main__ import main
+
+    bad = bytearray(snapshot)
+    bad[4] = 9
+    path = _write(tmp_path, "bad.teab", _reseal(bad[:-4]))
+    assert main(["verify", path]) == 1
+    out = capsys.readouterr().out
+    assert "TEA020" in out and "FAIL" in out
+
+
+def test_cli_verify_disable_and_strict(snapshot, tmp_path, capsys):
+    from repro.tools.__main__ import main
+
+    bad = bytearray(snapshot)
+    bad[4] = 9
+    path = _write(tmp_path, "bad.teab", _reseal(bad[:-4]))
+    assert main(["verify", "--disable", "TEA020", path]) == 0
+    capsys.readouterr()
+    assert main(["verify", "--disable", "TEA999", path]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_verify_recorded_json_trace_file(world, tmp_path, capsys):
+    # Regression: ``repro tools record`` writes a plain trace-set
+    # document (version/kind/traces), not a nested TEA document —
+    # verify_path must accept both shapes.
+    from repro.tools.__main__ import main
+    from repro.traces.serialization import trace_set_to_json
+
+    program, trace_set, _ = world
+    source = tmp_path / "program.s"
+    source.write_text(NESTED_DIAMOND_SOURCE)
+    traces = tmp_path / "traces.json"
+    traces.write_text(json.dumps(trace_set_to_json(trace_set)))
+    assert main(["verify", "--source", str(source), str(traces)]) == 0
+    assert "PASS" in capsys.readouterr().out
+    # Without a program image, a JSON document is a usage error.
+    capsys.readouterr()
+    assert main(["verify", str(traces)]) == 2
+
+
+def test_verify_path_accepts_nested_tea_document(world, tmp_path):
+    from repro.core.serialization import tea_to_json
+    from repro.verify import verify_path
+
+    program, trace_set, tea = world
+    path = tmp_path / "tea.json"
+    path.write_text(json.dumps(tea_to_json(trace_set, tea=tea)))
+    report = verify_path(str(path), program=program)
+    assert report.ok(strict=True)
+
+
+def test_cli_verify_sarif_out(snapshot, tmp_path, capsys):
+    from repro.tools.__main__ import main
+
+    path = _write(tmp_path, "good.teab", snapshot)
+    out = tmp_path / "report.sarif"
+    assert main(["verify", "--format", "sarif", "--out", str(out),
+                 path]) == 0
+    capsys.readouterr()
+    log = json.loads(out.read_text())
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"] == []
