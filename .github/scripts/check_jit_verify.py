@@ -1,0 +1,111 @@
+"""CI smoke test for the JIT source cache + its verify gate.
+
+Exercises the load-boundary story for generated replay code end to
+end, the way an operator would hit it:
+
+1. seed a store with the golden ``mcf_mret.teab`` snapshot;
+2. ``AutomatonStore.get_jit`` — generate and cache the specialized
+   replay source next to the blob;
+3. ``python -m repro.tools verify --strict`` over the cached
+   ``.jit.py`` must PASS (TEA033 static audit + TEA034 equivalence
+   against the sibling snapshot);
+4. tamper with a baked dispatch table (header untouched) and assert
+   the same CLI now FAILS — the on-disk cache cannot be trusted
+   silently;
+5. reload through ``get_jit`` and assert the store regenerated the
+   tampered source (``store.jit_codegen`` == 2) instead of executing
+   it.
+
+Run from the repository root with PYTHONPATH=src.  Exits non-zero on
+the first violated invariant.
+"""
+
+import ast
+import os
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.join(os.getcwd(), "src"))
+
+from repro.store import AutomatonStore  # noqa: E402
+
+GOLDEN = os.path.join("tests", "golden", "mcf_mret.teab")
+STORE = ".ci_jit_store"
+
+
+def fail(message):
+    print("FAIL: %s" % message)
+    sys.exit(1)
+
+
+def run_verify(path):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools", "verify", "--strict", path],
+        capture_output=True, text=True,
+    )
+
+
+def main():
+    shutil.rmtree(STORE, ignore_errors=True)
+    store = AutomatonStore(STORE)
+    with open(GOLDEN, "rb") as handle:
+        key = store.put_bytes(handle.read())
+
+    _compiled, code = store.get_jit(key)
+    path = store.jit_path_for(key)
+    if not os.path.exists(path):
+        fail("get_jit did not cache a source at %s" % path)
+    print("cached %s (digest %s...)" % (path, code.digest[:12]))
+
+    clean = run_verify(path)
+    print(clean.stdout.strip())
+    if clean.returncode != 0:
+        fail("verify rejected a freshly generated source:\n%s"
+             % (clean.stdout + clean.stderr))
+
+    # Tamper: swap two NXT destinations, leave the header alone.
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = source.split("\n")
+    for i, line in enumerate(lines):
+        if line.startswith("NXT = "):
+            nxt = ast.literal_eval(line[len("NXT = "):])
+            nxt[0], nxt[1] = nxt[1], nxt[0]
+            if nxt == ast.literal_eval(line[len("NXT = "):]):
+                nxt[0] = (nxt[0] + 1) % len(nxt)
+            lines[i] = "NXT = %r" % (nxt,)
+            break
+    else:
+        fail("no NXT table in the generated source")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+    tampered = run_verify(path)
+    print(tampered.stdout.strip())
+    if tampered.returncode == 0:
+        fail("verify passed a source with a tampered dispatch table")
+    if "TEA034" not in tampered.stdout:
+        fail("tampered table was not flagged by TEA034:\n%s"
+             % tampered.stdout)
+
+    # The store must regenerate rather than execute the tampered cache.
+    _compiled, regenerated = store.get_jit(key)
+    counters = store.obs.snapshot()["metrics"]["counters"]
+    if counters.get("store.jit_codegen") != 2:
+        fail("store reused a tampered cached source (jit_codegen=%r)"
+             % counters.get("store.jit_codegen"))
+    if regenerated.source != source:
+        fail("regenerated source differs from the original generation")
+
+    final = run_verify(path)
+    if final.returncode != 0:
+        fail("regenerated cache does not verify:\n%s" % final.stdout)
+
+    shutil.rmtree(STORE, ignore_errors=True)
+    print("OK: jit cache verifies clean, tampering detected, "
+          "regeneration transparent")
+
+
+if __name__ == "__main__":
+    main()

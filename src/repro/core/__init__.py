@@ -15,6 +15,9 @@ Package contents:
   (linked list vs global B+ tree, Section 4.2).
 - :mod:`repro.core.replay` — the replayer: drives the automaton from
   block transitions, accounts coverage and cost (Tables 2 and 4).
+- :mod:`repro.core.jit` — per-automaton specializing codegen: emits a
+  replay loop tailored to one compiled automaton, with guard + deopt
+  back to the compiled engine.
 - :mod:`repro.core.online` — **Algorithm 2**: recording TEA online while
   the program runs (Table 3).
 - :mod:`repro.core.memory_model` — byte accounting for Table 1.
@@ -34,6 +37,7 @@ from repro.core.directory import (
     make_directory,
 )
 from repro.core.duplication import duplicate_in_set, duplicate_trace
+from repro.core.jit import JitCode, JitReplayer, generate_replay_source
 from repro.core.memory_model import MemoryModel
 from repro.core.online import OnlineTeaRecorder
 from repro.core.profile import TeaProfile
@@ -58,6 +62,9 @@ __all__ = [
     "TeaReplayer",
     "CompiledTea",
     "CompiledReplayer",
+    "JitCode",
+    "JitReplayer",
+    "generate_replay_source",
     "OnlineTeaRecorder",
     "MemoryModel",
     "TeaProfile",

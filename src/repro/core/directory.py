@@ -246,6 +246,18 @@ DIRECTORY_COST_PARAM = {
     "sorted": "ARRAY_COMPARISON",
 }
 
+#: Directory kind -> the writable counter behind the read-only ``units``
+#: property.  Callers that batch probe work (the JIT replay engine
+#: memoises directory lookups and flushes the deferred work once per
+#: batch) must bump this attribute together with ``probes`` — assigning
+#: to ``units`` itself raises, by design.
+DIRECTORY_UNITS_ATTR = {
+    "list": "elements_scanned",
+    "bptree": "nodes_visited",
+    "hash": "slots_probed",
+    "sorted": "comparisons",
+}
+
 
 def make_directory(kind, order=16):
     """Build a directory: ``"list"``, ``"bptree"``, ``"hash"``, ``"sorted"``."""

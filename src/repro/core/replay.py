@@ -51,9 +51,11 @@ GLOBAL_INDEX_LABELS = {
 }
 
 #: Replay engines a config can select: the object-graph walker
-#: (:class:`TeaReplayer`) or the flat-table compiled engine
-#: (:class:`~repro.core.compiled.CompiledReplayer`).
-REPLAY_ENGINES = ("object", "compiled")
+#: (:class:`TeaReplayer`), the flat-table compiled engine
+#: (:class:`~repro.core.compiled.CompiledReplayer`), or the
+#: per-automaton specializing codegen engine
+#: (:class:`~repro.core.jit.JitReplayer`).
+REPLAY_ENGINES = ("object", "compiled", "jit")
 
 
 class ReplayConfig:
@@ -66,9 +68,10 @@ class ReplayConfig:
     ``cache_kind``: ``"direct"`` (direct-mapped) or ``"lru"``.
     ``cache_size``: entries per state cache (>= 1).
     ``bptree_order``: B+ tree fan-out (>= 3, the tree's own minimum).
-    ``engine``: ``"object"`` (TeaReplayer) or ``"compiled"``
-    (CompiledReplayer over packed transition streams) — identical
-    accounting, different dispatch machinery.
+    ``engine``: ``"object"`` (TeaReplayer), ``"compiled"``
+    (CompiledReplayer over packed transition streams) or ``"jit"``
+    (JitReplayer driving per-automaton generated code, same packed
+    streams) — identical accounting, different dispatch machinery.
     """
 
     __slots__ = ("global_index", "local_cache", "cache_kind", "cache_size",

@@ -70,5 +70,21 @@ class VerificationError(SerializationError, ValueError):
         return seen
 
 
+class PackedStreamError(ReproError, ValueError):
+    """A transition cannot be encoded into a packed int stream.
+
+    Raised at pack time when a transition carries a genuinely negative
+    ``next_start``: packed streams reserve negative values for the
+    ``END_OF_RUN`` terminal sentinel, so silently passing one through
+    would alias a corrupt PC onto "the program ended".  Carries the
+    offending value and its transition index within the stream/batch.
+    """
+
+    def __init__(self, message, index=None, value=None):
+        self.index = index
+        self.value = value
+        super().__init__(message)
+
+
 class WorkloadError(ReproError):
     """Unknown benchmark name or unsatisfiable workload parameters."""

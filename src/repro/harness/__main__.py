@@ -53,10 +53,12 @@ def _parse_args(argv):
         help="hot threshold for trace selection (default 30)",
     )
     parser.add_argument(
-        "--engine", choices=("object", "compiled"), default="object",
+        "--engine", choices=("object", "compiled", "jit"), default="object",
         help="replay engine for the TEA replay stages: 'object' walks "
              "the TeaState graph, 'compiled' drives the flat-table "
-             "engine over packed transition streams (default object)",
+             "engine over packed transition streams, 'jit' drives "
+             "per-automaton generated code over the same streams "
+             "(default object)",
     )
     parser.add_argument(
         "--verify", action="store_true",
@@ -143,7 +145,8 @@ def main(argv=None):
                          progress=progress, obs=obs)
 
     sections = []
-    started = time.time()
+    # Monotonic: an NTP step mid-run must not corrupt the elapsed banner.
+    started = time.perf_counter()
     if args.what in TABLES:
         selected = [args.what]
     elif args.what == "all":
@@ -172,7 +175,7 @@ def main(argv=None):
     print(output)
     snapshot = runner.metrics_snapshot()
     if not args.quiet:
-        print("\n[%.1f s] %s" % (time.time() - started,
+        print("\n[%.1f s] %s" % (time.perf_counter() - started,
                                  _cache_report(snapshot)), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as handle:

@@ -7,7 +7,10 @@ it wants flat integers.  This module is the bridge: it packs transition
 objects into ``array('q')`` batches of ``(next_start, instrs_dbt,
 instrs_pin)`` triples, with a terminal transition's ``next_start=None``
 encoded as :data:`~repro.core.compiled.END_OF_RUN` (-1; real PCs are
-non-negative).
+non-negative).  A transition carrying a *genuinely negative* PC is
+rejected with :class:`~repro.errors.PackedStreamError` at pack time —
+letting it through would silently alias corrupt input onto the terminal
+sentinel and end the replayed run early.
 
 Two entry points:
 
@@ -22,23 +25,40 @@ Two entry points:
 from array import array
 
 from repro.core.compiled import END_OF_RUN
+from repro.errors import PackedStreamError
 
 #: Triples per batch handed to ``CompiledReplayer.run()`` when no
 #: explicit batch size is configured.
 DEFAULT_PACKED_BATCH = 4096
 
 
+def _encode_next_start(next_start, index):
+    """``None`` -> END_OF_RUN; negative real PCs are rejected."""
+    if next_start is None:
+        return END_OF_RUN
+    if next_start < 0:
+        raise PackedStreamError(
+            "transition %d has negative next_start %d: negative values "
+            "are reserved for the END_OF_RUN sentinel (use "
+            "next_start=None for a terminal transition)"
+            % (index, next_start),
+            index=index, value=next_start,
+        )
+    return next_start
+
+
 def pack_transitions(transitions):
     """Pack an iterable of block transitions into one flat ``array('q')``.
 
     The result holds ``3 * len(transitions)`` ints — consume it with
-    :meth:`CompiledReplayer.run`.
+    :meth:`CompiledReplayer.run`.  Raises
+    :class:`~repro.errors.PackedStreamError` on a transition whose
+    ``next_start`` is negative (reserved for the terminal sentinel).
     """
     packed = array("q")
     append = packed.append
-    for transition in transitions:
-        next_start = transition.next_start
-        append(END_OF_RUN if next_start is None else next_start)
+    for index, transition in enumerate(transitions):
+        append(_encode_next_start(transition.next_start, index))
         append(transition.instrs_dbt)
         append(transition.instrs_pin)
     return packed
@@ -65,10 +85,16 @@ class PackedTransitionEncoder:
         return len(self._buffer) // 3
 
     def add(self, transition):
-        """Buffer one transition; returns a full batch or ``None``."""
+        """Buffer one transition; returns a full batch or ``None``.
+
+        Raises :class:`~repro.errors.PackedStreamError` on a negative
+        ``next_start`` (the transition is *not* buffered; the index in
+        the error counts transitions within the current batch).
+        """
         buffer = self._buffer
-        next_start = transition.next_start
-        buffer.append(END_OF_RUN if next_start is None else next_start)
+        encoded = _encode_next_start(transition.next_start,
+                                     len(buffer) // 3)
+        buffer.append(encoded)
         buffer.append(transition.instrs_dbt)
         buffer.append(transition.instrs_pin)
         if len(buffer) >= 3 * self.batch_size:

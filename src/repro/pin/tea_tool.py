@@ -14,6 +14,7 @@ execution."  That pintool is these two classes:
 
 from repro.core.builder import build_tea
 from repro.core.compiled import CompiledReplayer, CompiledTea
+from repro.core.jit import JitReplayer
 from repro.core.online import OnlineTeaRecorder
 from repro.core.replay import REPLAY_ENGINES, ReplayConfig, TeaReplayer
 from repro.pin.packed import DEFAULT_PACKED_BATCH, PackedTransitionEncoder
@@ -57,18 +58,26 @@ class TeaReplayTool(Pintool):
         loaded from binary store snapshots (``link_traces`` is ignored;
         the snapshot already fixed the transition tables).
     engine:
-        ``"object"`` or ``"compiled"``; defaults to ``config.engine``.
-        The compiled engine packs transitions into flat int batches and
-        drives :class:`~repro.core.compiled.CompiledReplayer`.
+        ``"object"``, ``"compiled"`` or ``"jit"``; defaults to
+        ``config.engine``.  The compiled and jit engines pack
+        transitions into flat int batches and drive
+        :class:`~repro.core.compiled.CompiledReplayer` /
+        :class:`~repro.core.jit.JitReplayer` respectively.
     compiled:
         A prebuilt :class:`~repro.core.compiled.CompiledTea` (e.g. from
         :func:`repro.store.compile_tea_binary`).  Lowered from ``tea``
-        on attach when omitted and the compiled engine is selected.
+        on attach when omitted and the compiled or jit engine is
+        selected.
+    jit:
+        A prebuilt :class:`~repro.core.jit.JitCode` (e.g. from
+        :meth:`repro.store.AutomatonStore.get_jit`).  Generated from
+        the compiled automaton on attach when omitted and the jit
+        engine is selected.
     """
 
     def __init__(self, trace_set=None, config=None, profile=None,
                  link_traces=False, obs=None, batch_size=None, tea=None,
-                 engine=None, compiled=None):
+                 engine=None, compiled=None, jit=None):
         super().__init__()
         self.trace_set = trace_set if trace_set is not None else TraceSet()
         self.config = config or ReplayConfig.global_local()
@@ -79,11 +88,11 @@ class TeaReplayTool(Pintool):
                     repr(name) for name in REPLAY_ENGINES
                 )
             )
-        if profile is not None and self.engine == "compiled":
+        if profile is not None and self.engine in ("compiled", "jit"):
             raise ValueError(
-                "the compiled engine cannot fill a TeaProfile (it replays "
+                "the %s engine cannot fill a TeaProfile (it replays "
                 "packed int streams, not transition objects); use "
-                "engine='object' for profiling runs"
+                "engine='object' for profiling runs" % self.engine
             )
         self.profile = profile
         self.obs = obs
@@ -94,17 +103,26 @@ class TeaReplayTool(Pintool):
             self.trace_set, link_traces=link_traces
         )
         self.compiled = compiled
+        self.jit = jit
         self.replayer = None
 
     def attach(self, pin):
         super().attach(pin)
         obs = self.obs if self.obs is not None else pin.obs
-        if self.engine == "compiled":
+        if self.engine in ("compiled", "jit"):
             if self.compiled is None:
                 self.compiled = CompiledTea.from_tea(self.tea)
-            self.replayer = CompiledReplayer(
-                self.compiled, config=self.config, cost=pin.cost, obs=obs,
-            )
+            if self.engine == "jit":
+                self.replayer = JitReplayer(
+                    self.compiled, config=self.config, cost=pin.cost,
+                    obs=obs, code=self.jit,
+                )
+                self.jit = self.replayer.code
+            else:
+                self.replayer = CompiledReplayer(
+                    self.compiled, config=self.config, cost=pin.cost,
+                    obs=obs,
+                )
             self._encoder = PackedTransitionEncoder(
                 self.batch_size or DEFAULT_PACKED_BATCH
             )

@@ -29,6 +29,7 @@ per-method latency timers) and exported via the ``stats`` RPC.
 """
 
 import asyncio
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -77,8 +78,12 @@ REPLAY_CONFIGS = {
 #: ready :class:`~repro.core.compiled.CompiledTea` (lowered straight
 #: from the snapshot bytes), the accounting is identical, and it is the
 #: faster dispatch loop.  ``engine="object"`` keeps the TeaReplayer
-#: object walk for differential checks.
-REPLAY_ENGINES = ("object", "compiled")
+#: object walk for differential checks; ``engine="jit"`` drives
+#: per-automaton generated code (specialized lazily per config on first
+#: request, shared read-only across workers thereafter) — identical
+#: accounting again, faster still.  The default stays ``compiled``
+#: until the JIT bench gate has soaked.
+REPLAY_ENGINES = ("object", "compiled", "jit")
 DEFAULT_ENGINE = "compiled"
 
 
@@ -126,7 +131,7 @@ class SnapshotEntry:
 
     __slots__ = ("key", "meta", "label", "program", "block_index",
                  "trace_set", "tea", "compiled", "profile", "n_bytes",
-                 "_native_cycles")
+                 "_native_cycles", "_jit_codes", "_jit_lock")
 
     def __init__(self, key, meta, program, trace_set, tea, profile, n_bytes,
                  compiled=None):
@@ -141,6 +146,25 @@ class SnapshotEntry:
         self.profile = profile
         self.n_bytes = n_bytes
         self._native_cycles = None
+        # JIT codes are specialized per replay config, lazily, on the
+        # worker threads — hence the lock (JitCode itself is immutable
+        # and shared read-only once built).
+        self._jit_codes = {}
+        self._jit_lock = threading.Lock()
+
+    def jit_for(self, config):
+        """The (cached) specialized :class:`~repro.core.jit.JitCode`
+        for this snapshot under ``config``."""
+        from repro.core.jit import JitCode, jit_config_token
+
+        token = jit_config_token(config)
+        with self._jit_lock:
+            code = self._jit_codes.get(token)
+        if code is None:
+            code = JitCode.from_compiled(self.compiled, config=config)
+            with self._jit_lock:
+                code = self._jit_codes.setdefault(token, code)
+        return code
 
     def describe(self):
         return {
@@ -581,10 +605,13 @@ class TeaService:
 
     def _replay_blocking(self, entry, config, batch, engine):
         """Worker-pool body: one full replay over a shared automaton."""
+        jit = entry.jit_for(config) if engine == "jit" else None
         tool = TeaReplayTool(
             trace_set=entry.trace_set, config=config,
             batch_size=batch, tea=entry.tea, engine=engine,
-            compiled=entry.compiled if engine == "compiled" else None,
+            compiled=(entry.compiled if engine in ("compiled", "jit")
+                      else None),
+            jit=jit,
         )
         result = Pin(entry.program, tool=tool).run()
         stats = tool.stats.as_dict()

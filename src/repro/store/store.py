@@ -30,6 +30,12 @@ from repro.util import atomic_write_bytes
 #: File extension for stored snapshots.
 SNAPSHOT_SUFFIX = ".teab"
 
+#: File extension for cached generated JIT replay sources.  They sit in
+#: the same shard directory as their snapshot, named
+#: ``<key>.<config-token>.jit.py`` — the listing helpers filter on
+#: :data:`SNAPSHOT_SUFFIX`, so cached code never aliases a content key.
+JIT_SUFFIX = ".jit.py"
+
 #: Default store directory (relative to the invoking CWD).
 DEFAULT_STORE_DIR = ".tea_store"
 
@@ -71,6 +77,8 @@ class AutomatonStore:
         self._bytes_written = metrics.counter("store.bytes_written")
         self._verify_ok = metrics.counter("store.verify_ok")
         self._verify_failed = metrics.counter("store.verify_failed")
+        self._jit_hits = metrics.counter("store.jit_hits")
+        self._jit_codegen = metrics.counter("store.jit_codegen")
 
     def _gate(self, key, data):
         """Run the snapshot rules over ``data`` when the gate is on."""
@@ -154,6 +162,79 @@ class AutomatonStore:
         return info
 
     # ------------------------------------------------------------------
+    # JIT code cache
+
+    def jit_path_for(self, key, config=None):
+        """File caching ``key``'s generated replay source for ``config``."""
+        from repro.core.jit import jit_config_token
+        from repro.core.replay import ReplayConfig
+
+        config = config or ReplayConfig.global_local()
+        return os.path.join(
+            self.root, key[:2],
+            "%s.%s%s" % (key, jit_config_token(config), JIT_SUFFIX),
+        )
+
+    def get_jit(self, key, config=None, params=None):
+        """``(compiled, code)`` for ``key``: the snapshot's compiled
+        lowering plus its specialized :class:`~repro.core.jit.JitCode`.
+
+        The generated source is cached on disk next to the TEAB blob,
+        keyed by the snapshot's content key and the config token.  A
+        cached source is reused only when it passes the same gates a
+        fresh :class:`~repro.core.jit.JitReplayer` applies — the
+        TEA033/TEA034 verify rules (when ``verify_on_load`` is set)
+        plus the digest/config/params guard — otherwise it is
+        regenerated and rewritten.  ``store.jit_hits`` counts reuses,
+        ``store.jit_codegen`` counts (re)generations.
+        """
+        from repro.core.jit import JitCode, generate_replay_source
+        from repro.core.replay import ReplayConfig
+        from repro.dbt.cost import CostModel
+
+        config = config or ReplayConfig.global_local()
+        params = params if params is not None else CostModel().params
+        compiled = self.get_compiled(key)
+        path = self.jit_path_for(key, config)
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError:
+                source = None
+            if source is not None and self._gate_jit(source, compiled, path):
+                code = JitCode.from_source(source)
+                if code.matches(compiled=compiled, config=config,
+                                params=params):
+                    self._jit_hits.inc()
+                    return compiled, code
+        source = generate_replay_source(compiled, config=config,
+                                        params=params)
+        atomic_write_bytes(path, source.encode("utf-8"))
+        self._bytes_written.inc(len(source))
+        self._jit_codegen.inc()
+        return compiled, JitCode.from_source(source)
+
+    def _gate_jit(self, source, compiled, path):
+        """Run TEA033/TEA034 over a cached source when the gate is on.
+
+        Returns True when the source may be executed; a failed gate
+        counts in ``store.verify_failed`` and triggers regeneration
+        rather than raising — stale cached code is recoverable, unlike
+        a damaged snapshot.
+        """
+        if not self.verify_on_load:
+            return True
+        from repro.verify.api import verify_jit_source
+
+        report = verify_jit_source(source, compiled=compiled, source_name=path)
+        if report.ok():
+            self._verify_ok.inc()
+            return True
+        self._verify_failed.inc()
+        return False
+
+    # ------------------------------------------------------------------
 
     def _entry_paths(self):
         if not os.path.isdir(self.root):
@@ -184,13 +265,31 @@ class AutomatonStore:
         """Bytes used by all snapshots."""
         return sum(os.path.getsize(path) for path in self._entry_paths())
 
+    def _jit_paths(self):
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for filename in sorted(os.listdir(shard_dir)):
+                if (filename.endswith(JIT_SUFFIX)
+                        and not filename.startswith(".")):
+                    yield os.path.join(shard_dir, filename)
+
     def clear(self):
-        """Delete every snapshot; returns how many were removed."""
+        """Delete every snapshot (and cached JIT source); returns how
+        many snapshots were removed."""
         removed = 0
         for path in list(self._entry_paths()):
             try:
                 os.unlink(path)
                 removed += 1
+            except OSError:
+                pass
+        for path in list(self._jit_paths()):
+            try:
+                os.unlink(path)
             except OSError:
                 pass
         return removed

@@ -81,8 +81,20 @@ class LRUCache:
     def invalidate(self, key):
         self._entries.pop(key, None)
 
+    def reset_stats(self):
+        """Zero the hit/miss counters (contents are kept)."""
+        self.hits = 0
+        self.misses = 0
+
     def clear(self):
+        """Drop every entry *and* the probe stats.
+
+        A cleared cache is a new cache: replayer resets reuse cleared
+        caches across runs, and stale hit/miss counts would leak into
+        the next run's observability snapshot.
+        """
         self._entries.clear()
+        self.reset_stats()
 
     def __len__(self):
         return len(self._entries)
@@ -130,9 +142,16 @@ class DirectMappedCache:
             self._keys[index] = None
             self._values[index] = None
 
+    def reset_stats(self):
+        """Zero the hit/miss counters (contents are kept)."""
+        self.hits = 0
+        self.misses = 0
+
     def clear(self):
+        """Drop every entry *and* the probe stats (see LRUCache.clear)."""
         self._keys = [None] * self.slots
         self._values = [None] * self.slots
+        self.reset_stats()
 
     def __len__(self):
         return sum(1 for key in self._keys if key is not None)

@@ -87,10 +87,11 @@ def _cmd_record(args):
 def _cmd_replay(args):
     program = _load_program(args)
     trace_set = load_trace_set(args.traces, BlockIndex(program))
-    if args.profile and args.engine == "compiled":
-        print("error: --profile needs the object engine (the compiled "
+    if args.profile and args.engine in ("compiled", "jit"):
+        print("error: --profile needs the object engine (the %s "
               "engine replays packed int streams, which carry nothing "
-              "to profile); drop --profile or use --engine object",
+              "to profile); drop --profile or use --engine object"
+              % args.engine,
               file=sys.stderr)
         return 2
     profile = TeaProfile() if args.profile else None
@@ -279,10 +280,11 @@ def main(argv=None):
     replay.add_argument("--traces", required=True, help="trace file to load")
     replay.add_argument("--config", choices=sorted(CONFIGS),
                         default="global_local")
-    replay.add_argument("--engine", choices=("object", "compiled"),
+    replay.add_argument("--engine", choices=("object", "compiled", "jit"),
                         default="object",
-                        help="replay engine: object-graph walk or the "
-                             "compiled flat-table engine (default object)")
+                        help="replay engine: object-graph walk, the "
+                             "compiled flat-table engine, or per-automaton "
+                             "generated code (default object)")
     replay.add_argument("--profile", action="store_true",
                         help="collect and print a per-TBB profile "
                              "(object engine only)")
@@ -325,7 +327,7 @@ def main(argv=None):
                          help="feed the replayer in batches of N "
                               "transitions (0 = per-call step; the "
                               "compiled engine always batches)")
-    metrics.add_argument("--engine", choices=("object", "compiled"),
+    metrics.add_argument("--engine", choices=("object", "compiled", "jit"),
                          default="object",
                          help="replay engine (default object)")
     metrics.add_argument("--format", choices=("json", "text"),

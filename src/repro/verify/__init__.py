@@ -19,6 +19,7 @@ from repro.verify.api import (
     default_engine,
     program_for_meta,
     verify_compiled,
+    verify_jit_source,
     verify_path,
     verify_snapshot_bytes,
     verify_tea,
@@ -39,6 +40,7 @@ __all__ = [
     "Diagnostic", "Report", "Rule", "RuleEngine", "Subject",
     "VerificationError", "ERROR", "WARNING", "INFO", "SEVERITIES",
     "all_rules", "default_engine", "program_for_meta",
-    "reports_to_sarif", "rule_by_id", "verify_compiled", "verify_path",
-    "verify_snapshot_bytes", "verify_tea", "verify_trace_set",
+    "reports_to_sarif", "rule_by_id", "verify_compiled",
+    "verify_jit_source", "verify_path", "verify_snapshot_bytes",
+    "verify_tea", "verify_trace_set",
 ]

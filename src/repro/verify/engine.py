@@ -52,6 +52,7 @@ def _load_builtin_rules():
         rules_automaton,
         rules_cfg,
         rules_compiled,
+        rules_jit,
         rules_snapshot,
         rules_traces,
     )
@@ -112,7 +113,9 @@ class Subject:
     - ``program`` — the ISA program image the traces were recorded
       against (enables the CFG-consistency family);
     - ``compiled`` — a :class:`~repro.core.compiled.CompiledTea`;
-    - ``snapshot`` — raw TEAB snapshot bytes.
+    - ``snapshot`` — raw TEAB snapshot bytes;
+    - ``jit_source`` — generated JIT replay source text (see
+      :mod:`repro.core.jit`).
 
     ``views`` lazily materialises one uniform
     :class:`~repro.verify.views.AutomatonView` per available automaton
@@ -121,16 +124,18 @@ class Subject:
     """
 
     __slots__ = ("source", "tea", "trace_set", "program", "compiled",
-                 "snapshot", "_views")
+                 "snapshot", "jit_source", "_views")
 
     def __init__(self, source="<memory>", tea=None, trace_set=None,
-                 program=None, compiled=None, snapshot=None):
+                 program=None, compiled=None, snapshot=None,
+                 jit_source=None):
         self.source = str(source)
         self.tea = tea
         self.trace_set = trace_set
         self.program = program
         self.compiled = compiled
         self.snapshot = snapshot
+        self.jit_source = jit_source
         self._views = None
 
     @property
@@ -150,7 +155,8 @@ class Subject:
     def __repr__(self):
         facets = [
             facet for facet in
-            ("tea", "trace_set", "program", "compiled", "snapshot")
+            ("tea", "trace_set", "program", "compiled", "snapshot",
+             "jit_source")
             if getattr(self, facet) is not None
         ]
         return "<Subject %s: %s>" % (self.source, "+".join(facets) or "empty")

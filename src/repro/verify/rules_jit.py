@@ -1,0 +1,326 @@
+"""Generated-JIT-source rules (TEA033-TEA034).
+
+The JIT engine (:mod:`repro.core.jit`) caches generated replay sources
+on disk next to their TEAB snapshots and ``exec``'s them on load.  A
+cached source is therefore a load boundary exactly like a snapshot —
+and gets the same treatment: TEA033 audits the source *statically*
+(header shape, an AST sweep rejecting anything the generator never
+emits — imports, dunder access, dangerous builtins — and table sanity),
+and TEA034 proves the baked dispatch tables equivalent to a fresh
+specialization of the compiled automaton the source claims to encode,
+finishing with a small dynamic differential probe (run only when every
+static check passed — the probe executes the source).
+
+Both rules work on the *text*: nothing here executes the subject's
+source until TEA034's probe, and that probe is skipped the moment any
+static finding exists.
+"""
+
+import ast
+
+from repro.verify.engine import Rule, register
+
+#: Builtin names a generated source must never call.  The generator
+#: emits a closed set of calls (range/len/iter/sum/list/ValueError plus
+#: locally bound methods); anything on this list is an injection
+#: attempt, not a codegen artefact.
+_FORBIDDEN_CALLS = frozenset({
+    "eval", "exec", "compile", "open", "__import__", "globals", "locals",
+    "vars", "getattr", "setattr", "delattr", "input", "breakpoint",
+    "exit", "quit", "memoryview", "type",
+})
+
+#: The one dunder attribute the generated loop legitimately touches
+#: (``iter(...).__length_hint__`` recovers the stream index on the
+#: out-of-trace path without a per-block counter).
+_ALLOWED_DUNDER_ATTRS = frozenset({"__length_hint__"})
+
+#: Statement/expression node types the generator never emits.  The
+#: audit rejects them wholesale rather than reasoning about safety.
+_FORBIDDEN_NODES = (
+    ast.Import, ast.ImportFrom, ast.ClassDef, ast.AsyncFunctionDef,
+    ast.Await, ast.AsyncFor, ast.AsyncWith, ast.With, ast.Lambda,
+    ast.Global, ast.Nonlocal, ast.Delete, ast.Try, ast.Yield,
+    ast.YieldFrom, ast.Starred,
+)
+
+#: Literal tables every generated source must define at top level.
+_REQUIRED_TABLES = ("SHIFT", "N_STATES", "TBB", "EXP", "NXT", "MULTI",
+                    "DEOPT_SIDS")
+
+
+def _audit_source(source):
+    """Yield ``(message, data)`` findings for one generated source."""
+    from repro.core.jit import JIT_VERSION, parse_jit_header
+
+    header = parse_jit_header(source)
+    if header is None:
+        yield ("missing or malformed '# TEAJIT v1 ...' header line", {})
+        return
+    if header["version"] != JIT_VERSION:
+        yield ("unsupported format version %r (this build understands "
+               "v%d)" % (header["version"], JIT_VERSION),
+               {"version": header["version"]})
+    digest = header.get("digest", "")
+    if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+        yield ("header digest %r is not a SHA-256 hex digest"
+               % (digest[:16],), {})
+    if not header.get("config"):
+        yield ("header carries no config token", {})
+    params = header.get("params", "")
+    if len(params) != 12:
+        yield ("header params token %r is not 12 hex digits" % (params,), {})
+    if header.get("threshold", -1) < 0:
+        yield ("header carries no specialization threshold", {})
+
+    try:
+        module = ast.parse(source)
+    except SyntaxError as error:
+        yield ("source does not parse: %s" % error, {"line": error.lineno})
+        return
+
+    bind_defs = 0
+    for statement in module.body:
+        if isinstance(statement, ast.FunctionDef):
+            bind_defs += statement.name == "bind"
+        elif isinstance(statement, ast.Assign):
+            try:
+                ast.literal_eval(statement.value)
+            except (ValueError, TypeError, SyntaxError):
+                names = ", ".join(
+                    getattr(t, "id", "?") for t in statement.targets
+                )
+                yield ("top-level assignment to %s is not a literal"
+                       % names, {})
+        elif not isinstance(statement, ast.Expr):
+            # Anything else at module level (the docstring is the only
+            # legitimate Expr) is not generator output.
+            yield ("unexpected top-level %s statement"
+                   % type(statement).__name__,
+                   {"line": statement.lineno})
+    if bind_defs != 1:
+        yield ("source must define exactly one bind() function "
+               "(found %d)" % bind_defs, {})
+
+    for node in ast.walk(module):
+        if isinstance(node, _FORBIDDEN_NODES):
+            yield ("forbidden %s construct" % type(node).__name__,
+                   {"line": getattr(node, "lineno", None)})
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (isinstance(callee, ast.Name)
+                    and callee.id in _FORBIDDEN_CALLS):
+                yield ("forbidden call to %s()" % callee.id,
+                       {"line": node.lineno})
+        elif isinstance(node, ast.Attribute):
+            if (node.attr.startswith("__")
+                    and node.attr not in _ALLOWED_DUNDER_ATTRS):
+                yield ("forbidden dunder attribute access .%s" % node.attr,
+                       {"line": node.lineno})
+        elif isinstance(node, ast.Name):
+            if node.id in _FORBIDDEN_CALLS and not isinstance(
+                    getattr(node, "ctx", None), ast.Store):
+                yield ("forbidden reference to %s" % node.id,
+                       {"line": node.lineno})
+
+    from repro.core.jit import extract_jit_tables
+
+    try:
+        tables = extract_jit_tables(source)
+    except (SyntaxError, ValueError, TypeError) as error:
+        yield ("cannot extract literal tables: %s" % error, {})
+        return
+    missing = [name for name in _REQUIRED_TABLES if name not in tables]
+    if missing:
+        yield ("missing literal tables: %s" % ", ".join(missing), {})
+        return
+    n_states = tables["N_STATES"]
+    if not isinstance(n_states, int) or n_states < 1:
+        yield ("N_STATES must be a positive integer", {})
+        return
+    if not isinstance(tables["SHIFT"], int) or tables["SHIFT"] < 1:
+        yield ("SHIFT must be a positive integer", {})
+    if len(tables["TBB"]) != n_states:
+        yield ("TBB has %d flags for %d states"
+               % (len(tables["TBB"]), n_states), {})
+    for name in ("EXP", "NXT"):
+        if len(tables[name]) != n_states:
+            yield ("%s has %d entries for %d states"
+                   % (name, len(tables[name]), n_states), {})
+    for dest in tables["NXT"]:
+        if not (isinstance(dest, int) and 0 <= dest < n_states):
+            yield ("NXT routes to unknown state %r" % (dest,), {})
+            break
+    for dest in tables["MULTI"].values():
+        if not (isinstance(dest, int) and 0 <= dest < n_states):
+            yield ("MULTI routes to unknown state %r" % (dest,), {})
+            break
+    for sid in tables["DEOPT_SIDS"]:
+        if not (isinstance(sid, int) and 0 <= sid < n_states):
+            yield ("DEOPT_SIDS names unknown state %r" % (sid,), {})
+            break
+
+
+class JitSourceAudit(Rule):
+    rule_id = "TEA033"
+    name = "jit-source-audit"
+    family = "jit"
+    description = (
+        "A cached generated replay source is malformed or carries "
+        "constructs the codegen never emits (imports, dunder access, "
+        "dangerous builtins, non-literal tables)."
+    )
+    paper = "Section 4.2 (specialized transition dispatch)"
+    requires = ("jit_source",)
+
+    def check(self, subject):
+        for message, data in _audit_source(subject.jit_source):
+            yield self.diag(message, **data)
+
+
+class JitEquivalence(Rule):
+    rule_id = "TEA034"
+    name = "jit-equivalence"
+    family = "jit"
+    description = (
+        "The generated source's baked dispatch tables (or its runtime "
+        "behaviour) disagree with the compiled automaton it claims to "
+        "specialize."
+    )
+    paper = "Section 4.2 (the lowering preserves the automaton)"
+    requires = ("jit_source", "compiled")
+
+    def check(self, subject):
+        from repro.core.jit import (
+            extract_jit_tables,
+            parse_jit_header,
+            specialize_tables,
+            structural_digest,
+        )
+
+        source = subject.jit_source
+        compiled = subject.compiled
+        if any(True for _ in _audit_source(source)):
+            # TEA033 already reports the defects; comparing (or running)
+            # a source that failed the static audit proves nothing.
+            return
+        header = parse_jit_header(source)
+        expected_digest = structural_digest(compiled)
+        if header["digest"] != expected_digest:
+            yield self.diag(
+                "source was generated for automaton %s... but the "
+                "companion snapshot lowers to %s..."
+                % (header["digest"][:12], expected_digest[:12]),
+                location="digest",
+            )
+            return
+        try:
+            shift, exp, nxt, multi, deopt = specialize_tables(
+                compiled, threshold=header["threshold"]
+            )
+        except ValueError as error:
+            yield self.diag(
+                "companion automaton does not specialize: %s" % error,
+            )
+            return
+        tables = extract_jit_tables(source)
+        reference = {
+            "SHIFT": shift,
+            "N_STATES": compiled.n_states,
+            "TBB": bytes(compiled.tbb_flag),
+            "EXP": exp,
+            "NXT": nxt,
+            "MULTI": multi,
+            "DEOPT_SIDS": deopt,
+        }
+        clean = True
+        for name, expected in reference.items():
+            if tables.get(name) != expected:
+                clean = False
+                yield self.diag(
+                    "baked table %s does not match a fresh "
+                    "specialization of the companion automaton" % name,
+                    location=name,
+                )
+        if clean:
+            for finding in self._dynamic_probe(source, compiled, header):
+                yield finding
+
+    def _dynamic_probe(self, source, compiled, header):
+        """Differential spot check: run the (statically clean) source
+        and the compiled engine over one probe batch and compare every
+        replay counter — and the cost breakdown, when the source was
+        baked with the default cost parameters."""
+        from repro.core.jit import (
+            JitReplayer,
+            JitCode,
+            config_from_token,
+            params_token,
+        )
+        from repro.core.compiled import CompiledReplayer, END_OF_RUN
+        from repro.dbt.cost import CostModel
+        from repro.obs import Observability
+
+        try:
+            config = config_from_token(header["config"])
+        except ValueError as error:
+            yield self.diag("unreplayable config token: %s" % error,
+                            location="config")
+            return
+        # Probe stream: every head entry, a prefix of the label table
+        # (drives fast paths and side exits), one unknown PC, one
+        # END_OF_RUN — enough to touch each dispatch tier.
+        pcs = list(compiled.head_entries)
+        pcs += list(compiled.labels[:16])
+        unknown = (max(compiled.labels) + 1) if len(compiled.labels) else 1
+        pcs += [unknown, END_OF_RUN]
+        packed = []
+        for pc in pcs:
+            packed += [pc, 1, 1]
+
+        results = []
+        for engine in ("jit", "compiled"):
+            cost = CostModel()
+            obs = Observability()
+            if engine == "jit":
+                try:
+                    code = JitCode.from_source(source)
+                    replayer = JitReplayer(compiled, config=config,
+                                           cost=cost, obs=obs, code=code)
+                except ValueError as error:
+                    yield self.diag(
+                        "source fails to bind: %s" % error,
+                    )
+                    return
+            else:
+                replayer = CompiledReplayer(compiled, config=config,
+                                            cost=cost, obs=obs)
+            sid = replayer.run(packed)
+            results.append((sid, replayer.stats.as_dict(), cost.cycles,
+                            dict(cost.breakdown)))
+        (jit_sid, jit_stats, jit_cycles, jit_breakdown) = results[0]
+        (ref_sid, ref_stats, ref_cycles, ref_breakdown) = results[1]
+        if jit_sid != ref_sid:
+            yield self.diag(
+                "probe ends in state %d under the generated code but "
+                "%d under the compiled engine" % (jit_sid, ref_sid),
+            )
+        for name, expected in ref_stats.items():
+            if jit_stats.get(name) != expected:
+                yield self.diag(
+                    "probe counter %s: generated code reports %r, "
+                    "compiled engine %r"
+                    % (name, jit_stats.get(name), expected),
+                    location=name,
+                )
+        if header["params"] == params_token(CostModel().params):
+            if (jit_cycles, jit_breakdown) != (ref_cycles, ref_breakdown):
+                yield self.diag(
+                    "probe cost model diverges: %r cycles vs %r"
+                    % (jit_cycles, ref_cycles),
+                    location="cost",
+                )
+
+
+register(JitSourceAudit())
+register(JitEquivalence())

@@ -291,6 +291,37 @@ def test_packed_encoder_stream_equals_one_shot_packing(batch_size, n):
     assert streamed == pack_transitions(transitions)
 
 
+def test_pack_transitions_rejects_negative_real_pcs():
+    """A genuinely negative next_start must not silently alias onto the
+    END_OF_RUN sentinel — the stream would replay as a truncated run."""
+    from repro.errors import PackedStreamError, ReproError
+
+    bad = [_FakeTransition(0x40), _FakeTransition(-2), _FakeTransition(None)]
+    with pytest.raises(PackedStreamError) as excinfo:
+        pack_transitions(bad)
+    assert excinfo.value.index == 1
+    assert excinfo.value.value == -2
+    assert issubclass(PackedStreamError, ValueError)
+    assert issubclass(PackedStreamError, ReproError)
+    # END_OF_RUN itself (as a raw int) is just as impossible a PC.
+    with pytest.raises(PackedStreamError):
+        pack_transitions([_FakeTransition(END_OF_RUN)])
+
+
+def test_packed_encoder_rejects_negative_real_pcs():
+    from repro.errors import PackedStreamError
+
+    encoder = PackedTransitionEncoder(batch_size=4)
+    encoder.add(_FakeTransition(1))
+    with pytest.raises(PackedStreamError) as excinfo:
+        encoder.add(_FakeTransition(-7))
+    assert excinfo.value.index == 1
+    assert excinfo.value.value == -7
+    # The poisoned transition was not buffered: the stream stays usable.
+    assert len(encoder) == 1
+    assert list(encoder.flush()) == [1, 3, 4]
+
+
 # ---------------------------------------------------------------------
 # ReplayConfig validation + reset semantics (satellites)
 # ---------------------------------------------------------------------
@@ -311,8 +342,9 @@ def test_replay_config_rejects_bad_bptree_order():
 
 def test_replay_config_rejects_unknown_engine():
     with pytest.raises(ValueError, match="engine"):
-        ReplayConfig(engine="jit")
+        ReplayConfig(engine="llvm")
     assert ReplayConfig(engine="compiled").engine == "compiled"
+    assert ReplayConfig(engine="jit").engine == "jit"
     assert ReplayConfig.global_local(engine="compiled").engine == "compiled"
 
 

@@ -243,7 +243,7 @@ def test_bad_params(shared_service):
             client.call("replay", config="warp-speed")
         assert excinfo.value.code == E_PARAMS
         with pytest.raises(ServiceError) as excinfo:
-            client.call("replay", engine="jit")
+            client.call("replay", engine="llvm")
         assert excinfo.value.code == E_PARAMS
         with pytest.raises(ServiceError) as excinfo:
             client.call("step-batch", labels=[1], start=10 ** 6)

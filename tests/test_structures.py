@@ -214,6 +214,30 @@ def test_lru_invalidate_and_clear():
     assert len(cache) == 0
 
 
+def test_cache_clear_resets_stats():
+    """Regression: a cleared cache is a *new* cache — stale hit/miss
+    totals must not leak into the next replay's gauges."""
+    for cache in (LRUCache(4), DirectMappedCache(4)):
+        cache.insert(1, "a")
+        cache.lookup(1)      # hit
+        cache.lookup(9)      # miss
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert len(cache) == 0
+
+
+def test_cache_reset_stats_keeps_entries():
+    for cache in (LRUCache(4), DirectMappedCache(4)):
+        cache.insert(1, "a")
+        cache.lookup(1)
+        cache.lookup(9)
+        cache.reset_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.lookup(1) == "a"
+        assert cache.hits == 1
+
+
 def test_direct_mapped_conflict_eviction():
     cache = DirectMappedCache(4)
     cache.insert(0, "a")
