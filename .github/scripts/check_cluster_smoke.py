@@ -1,0 +1,218 @@
+"""CI smoke test for the sharded replay cluster.
+
+Exercises the production cluster path end to end, as subprocesses
+(the way an operator would run it):
+
+1. ``python -m repro.service build`` — record a benchmark, snapshot
+   its automaton into a shared store;
+2. ``python -m repro.cluster up`` — boot 3 subprocess workers plus
+   the consistent-hash router, port published via ``--port-file``;
+3. fire >= 32 concurrent mixed client queries (replay / coverage /
+   step-batch / snapshot-info) *through the router* and assert every
+   one succeeds with identical replay-family answers;
+4. replay once per engine (``compiled`` vs ``object``) through the
+   router and assert identical transition accounting and coverage;
+5. SIGKILL one worker (pid taken from the ``cluster-info`` RPC),
+   assert the router keeps answering via the replicas, and that the
+   health loop evicts the dead worker from the ring;
+6. SIGTERM the ``up`` process and assert a clean graceful drain
+   (exit 0, "drained cleanly" and "workers drained" on stdout).
+
+Run from the repository root with PYTHONPATH=src (the CI job does).
+Exits non-zero on the first violated invariant.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+sys.path.insert(0, os.path.join(os.getcwd(), "src"))
+
+from repro.service.client import RetryPolicy, ServiceClient  # noqa: E402
+
+STORE = ".ci_cluster_store"
+WORKDIR = ".ci_cluster_work"
+PORT_FILE = os.path.join(WORKDIR, "router.port")
+BENCHMARK = "164.gzip"
+SCALE = "0.3"
+N_CLIENTS = 32
+N_WORKERS = 3
+
+
+def fail(message):
+    print("FAIL: %s" % message)
+    sys.exit(1)
+
+
+def run_build():
+    subprocess.run(
+        [sys.executable, "-m", "repro.service", "build",
+         "--store", STORE, "--benchmark", BENCHMARK, "--scale", SCALE,
+         "--threshold", "10", "--label", "smoke"],
+        check=True,
+    )
+
+
+def start_cluster():
+    os.makedirs(WORKDIR, exist_ok=True)
+    if os.path.exists(PORT_FILE):
+        os.unlink(PORT_FILE)
+    cluster = subprocess.Popen(
+        [sys.executable, "-m", "repro.cluster", "up",
+         "--store", STORE, "--workers", str(N_WORKERS),
+         "--port", "0", "--port-file", PORT_FILE,
+         "--workdir", WORKDIR, "--replicas", "2", "--max-queue", "64",
+         "--health-interval", "0.2", "--fail-after", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.time() + 240
+    while time.time() < deadline:
+        if os.path.exists(PORT_FILE):
+            with open(PORT_FILE) as handle:
+                text = handle.read().strip()
+            if text:
+                return cluster, int(text)
+        if cluster.poll() is not None:
+            fail("cluster exited early:\n%s" % cluster.stdout.read())
+        time.sleep(0.2)
+    cluster.kill()
+    fail("router did not write its port file in time")
+
+
+def make_client(port, timeout=120.0):
+    policy = RetryPolicy(attempts=8, base_delay=0.05, max_delay=0.5)
+    return ServiceClient("127.0.0.1", port, timeout=timeout, retry=policy)
+
+
+def one_query(port, index):
+    with make_client(port) as client:
+        kind = index % 4
+        if kind == 0:
+            result = client.replay(snapshot="smoke")
+            assert 0.0 < result["coverage_pin"] <= 1.0
+            return "replay", json.dumps(result, sort_keys=True)
+        if kind == 1:
+            result = client.coverage(snapshot="smoke")
+            assert 0.0 < result["coverage_pin"] <= 1.0
+            return "coverage", json.dumps(result, sort_keys=True)
+        if kind == 2:
+            result = client.step_batch([1, 2, 3, 4], snapshot="smoke")
+            assert result["steps"] == 4
+            return "step-batch", None
+        result = client.snapshot_info("smoke")
+        assert result["states"] > 1
+        return "snapshot-info", None
+
+
+def storm(port, label):
+    """One concurrent wave; returns {method: {distinct answers}}."""
+    with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+        outcomes = list(
+            pool.map(lambda i: one_query(port, i), range(N_CLIENTS))
+        )
+    if len(outcomes) != N_CLIENTS:
+        fail("%s: expected %d results, got %d"
+             % (label, N_CLIENTS, len(outcomes)))
+    answers = {}
+    for method, answer in outcomes:
+        if answer is not None:
+            answers.setdefault(method, set()).add(answer)
+    for method, distinct in answers.items():
+        if len(distinct) != 1:
+            fail("%s: %s answers disagree across clients/workers"
+                 % (label, method))
+    return answers
+
+
+def check_engines_agree(port):
+    with make_client(port) as client:
+        compiled = client.replay(snapshot="smoke", engine="compiled")
+        via_objects = client.replay(snapshot="smoke", engine="object")
+    if compiled["stats"] != via_objects["stats"]:
+        fail("engines disagree on replay stats through the router")
+    if compiled["coverage_pin"] != via_objects["coverage_pin"]:
+        fail("engines disagree on coverage through the router")
+
+
+def cluster_info(port):
+    with make_client(port, timeout=60.0) as client:
+        return client.call("cluster-info")
+
+
+def kill_one_worker(port):
+    info = cluster_info(port)
+    workers = info["workers"]
+    if len(workers) != N_WORKERS:
+        fail("cluster-info lists %d workers, expected %d"
+             % (len(workers), N_WORKERS))
+    victim = workers[0]
+    if not victim.get("pid"):
+        fail("cluster-info carries no worker pid: %r" % victim)
+    os.kill(victim["pid"], signal.SIGKILL)
+    return victim["id"]
+
+
+def wait_for_eviction(port, victim_id, timeout=30.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        info = cluster_info(port)
+        by_id = {worker["id"]: worker for worker in info["workers"]}
+        if not by_id[victim_id]["healthy"]:
+            return
+        time.sleep(0.2)
+    fail("router never evicted the killed worker %s" % victim_id)
+
+
+def main():
+    run_build()
+    cluster, port = start_cluster()
+    try:
+        calm = storm(port, "calm storm")
+        check_engines_agree(port)
+
+        victim_id = kill_one_worker(port)
+        after = storm(port, "post-kill storm")
+        if after["replay"] != calm["replay"]:
+            fail("replay answer changed after the worker kill")
+        if after["coverage"] != calm["coverage"]:
+            fail("coverage answer changed after the worker kill")
+        wait_for_eviction(port, victim_id)
+
+        with make_client(port, timeout=60.0) as client:
+            stats = client.stats()
+        if stats["evictions"] < 1:
+            fail("stats report no evictions after a SIGKILL")
+        if stats["healthy"] != N_WORKERS - 1:
+            fail("expected %d healthy workers, stats says %d"
+                 % (N_WORKERS - 1, stats["healthy"]))
+        counters = stats["metrics"]["counters"]
+        if counters["router.forwards"] < 2 * N_CLIENTS:
+            fail("only %d forwards recorded across two storms"
+                 % counters["router.forwards"])
+    finally:
+        cluster.send_signal(signal.SIGTERM)
+        try:
+            output, _ = cluster.communicate(timeout=120)
+        except subprocess.TimeoutExpired:
+            cluster.kill()
+            fail("cluster did not drain within 120s of SIGTERM")
+
+    if cluster.returncode != 0:
+        fail("cluster exited %d after SIGTERM:\n%s"
+             % (cluster.returncode, output))
+    if "drained cleanly" not in output:
+        fail("router graceful-drain banner missing:\n%s" % output)
+    if "workers drained" not in output:
+        fail("worker drain banner missing:\n%s" % output)
+
+    print("OK: %d-worker cluster served 2x%d concurrent queries, "
+          "survived a SIGKILL, evicted the corpse, drained cleanly"
+          % (N_WORKERS, N_CLIENTS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""``repro.cluster`` — the sharded replay cluster.
+
+A horizontal scaling layer over :mod:`repro.service`: a
+consistent-hash router front-end fans replay requests out across N
+worker processes, each an ordinary single-node replay server over a
+shared snapshot store.
+
+- :mod:`repro.cluster.ring` — :class:`HashRing`, the virtual-node
+  consistent-hash ring (balance and minimal-remapping properties are
+  pinned by the hypothesis suite in ``tests/test_cluster.py``);
+- :mod:`repro.cluster.router` — :class:`ClusterRouter`, the asyncio
+  front-end: replica fan-out, bounded per-worker queues with
+  ``overloaded`` shedding, per-client token-bucket quotas, health
+  probing with ring eviction/rejoin, and graceful drain;
+- :mod:`repro.cluster.testing` — in-process and subprocess harnesses
+  used by the chaos tests and the CI smoke script;
+- ``python -m repro.cluster`` / ``repro tools cluster`` — serve a
+  router, boot a whole cluster (``up``), or inspect routing (``plan``,
+  ``status``).
+
+Topology, routing rules, and failure semantics: docs/cluster.md.
+"""
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, key_point, node_points
+from repro.cluster.router import (
+    ClusterConfig,
+    ClusterRouter,
+    ClusterSetupError,
+    TokenBucket,
+    WorkerHandle,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "key_point",
+    "node_points",
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSetupError",
+    "TokenBucket",
+    "WorkerHandle",
+]

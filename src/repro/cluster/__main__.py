@@ -1,0 +1,252 @@
+"""CLI for the sharded replay cluster.
+
+Examples::
+
+    # Boot a whole local cluster: 3 subprocess workers + the router
+    # (SIGTERM drains the router, then the workers):
+    python -m repro.cluster up --store .tea_store --workers 3 \\
+        --port 7400
+
+    # Run only the router over already-running workers:
+    python -m repro.cluster serve --port 7400 \\
+        --worker 127.0.0.1:7401 --worker 127.0.0.1:7402
+
+    # Where would each snapshot land?  (pure ring math, no network):
+    python -m repro.cluster plan --store .tea_store \\
+        --worker w1 --worker w2 --worker w3 --replicas 2
+
+    # Live topology of a running router:
+    python -m repro.cluster status --port 7400
+
+The router speaks the ordinary service protocol, so
+``python -m repro.service call --port 7400 replay ...`` works
+unchanged against a cluster.
+"""
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.router import ClusterConfig, ClusterRouter
+from repro.cluster.testing import WorkerProcess
+from repro.errors import ReproError
+from repro.service.client import ServiceClient
+from repro.store import AutomatonStore, DEFAULT_STORE_DIR
+from repro.util import atomic_write_text
+
+
+def _parse_worker(spec):
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(
+            "worker %r is not host:port (e.g. 127.0.0.1:7401)" % spec
+        )
+    return (host, int(port))
+
+
+def _router_config(args):
+    return ClusterConfig(
+        host=args.host, port=args.port, replicas=args.replicas,
+        vnodes=args.vnodes, max_queue=args.max_queue,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        health_interval=args.health_interval, fail_after=args.fail_after,
+        forward_timeout=args.forward_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+def _run_router(workers, args, on_started=None, on_drained=None):
+    """Start a router over ``workers`` and serve until SIGTERM/SIGINT."""
+    router = ClusterRouter(workers, config=_router_config(args))
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    try:
+        loop.run_until_complete(router.start())
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, router.initiate_shutdown)
+        host, port = router.address
+        print("repro.cluster router on %s:%d (%d workers, %d healthy, "
+              "replicas=%d)"
+              % (host, port, len(router._workers),
+                 len(router.healthy_workers), args.replicas),
+              flush=True)
+        if args.port_file:
+            atomic_write_text(args.port_file, "%d\n" % port)
+        if on_started is not None:
+            on_started(router)
+        loop.run_until_complete(router.serve_forever())
+        print("repro.cluster router drained cleanly", flush=True)
+        if on_drained is not None:
+            on_drained()
+    finally:
+        loop.close()
+    return 0
+
+
+def _cmd_serve(args):
+    """Router only; workers are already running elsewhere."""
+    workers = [_parse_worker(spec) for spec in args.worker or ()]
+    if not workers:
+        raise ReproError("serve needs at least one --worker host:port")
+    return _run_router(workers, args)
+
+
+def _cmd_up(args):
+    """Boot N subprocess workers plus the router, in one command."""
+    store = AutomatonStore(args.store)
+    if not len(store):
+        raise ReproError(
+            "store %s holds no snapshots; build one with "
+            "'python -m repro.service build'" % store.root
+        )
+    workers = [
+        WorkerProcess(args.store, args.workdir or ".", name="worker%d" % i,
+                      host=args.host, threads=args.worker_threads,
+                      debug=args.debug).spawn()
+        for i in range(args.workers)
+    ]
+    try:
+        for worker in workers:
+            worker.wait_ready(timeout=args.start_timeout)
+        print("workers: %s"
+              % ", ".join("%s:%d (pid %d)" % (w.host, w.port, w.pid)
+                          for w in workers),
+              flush=True)
+
+        def _stop_workers():
+            for worker in workers:
+                worker.terminate()
+            print("repro.cluster workers drained", flush=True)
+
+        return _run_router(
+            [(w.host, w.port, w.pid) for w in workers], args,
+            on_drained=_stop_workers,
+        )
+    except BaseException:
+        for worker in workers:
+            try:
+                worker.kill()
+            except Exception:  # noqa: BLE001 — teardown on failure
+                pass
+        raise
+
+
+def _cmd_plan(args):
+    """Offline routing table: snapshot digest -> replica set."""
+    names = list(args.worker or ())
+    if not names:
+        raise ReproError("plan needs at least one --worker name")
+    ring = HashRing(names, vnodes=args.vnodes)
+    store = AutomatonStore(args.store)
+    plan = {
+        "replicas": args.replicas,
+        "ring": ring.describe(),
+        "snapshots": [
+            {
+                "key": key,
+                "label": (store.describe(key).get("meta") or {}).get("label"),
+                "workers": ring.nodes_for(key, args.replicas),
+            }
+            for key in sorted(store.keys())
+        ],
+    }
+    print(json.dumps(plan, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_status(args):
+    """Live cluster-info + stats from a running router."""
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        info = client.call("cluster-info")
+        stats = client.call("stats")
+    print(json.dumps({"cluster": info, "stats": stats},
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="route replay requests across sharded workers",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_router_options(sub):
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, default=0,
+                         help="router TCP port (0 = pick a free one)")
+        sub.add_argument("--replicas", type=int, default=2,
+                         help="replica fan-out per snapshot (default 2)")
+        sub.add_argument("--vnodes", type=int, default=DEFAULT_VNODES)
+        sub.add_argument("--max-queue", type=int, default=8,
+                         help="per-worker in-flight cap before shedding")
+        sub.add_argument("--quota-rate", type=float, default=0.0,
+                         help="per-client tokens per second")
+        sub.add_argument("--quota-burst", type=int, default=0,
+                         help="per-client burst (0 disables quotas)")
+        sub.add_argument("--health-interval", type=float, default=0.5)
+        sub.add_argument("--fail-after", type=int, default=2,
+                         help="failed probes before ring eviction")
+        sub.add_argument("--forward-timeout", type=float, default=120.0)
+        sub.add_argument("--drain-timeout", type=float, default=30.0)
+        sub.add_argument("--port-file",
+                         help="write the bound router port here")
+
+    serve = commands.add_parser(
+        "serve", help="run the router over existing workers"
+    )
+    add_router_options(serve)
+    serve.add_argument("--worker", action="append",
+                       help="worker address host:port (repeatable)")
+
+    up = commands.add_parser(
+        "up", help="boot N subprocess workers plus the router"
+    )
+    add_router_options(up)
+    up.add_argument("--store", default=DEFAULT_STORE_DIR,
+                    help="shared snapshot store (default %(default)s)")
+    up.add_argument("--workers", type=int, default=3,
+                    help="worker process count (default 3)")
+    up.add_argument("--worker-threads", type=int, default=2,
+                    help="replay threads per worker (default 2)")
+    up.add_argument("--workdir",
+                    help="directory for worker port files (default .)")
+    up.add_argument("--start-timeout", type=float, default=240.0)
+    up.add_argument("--debug", action="store_true",
+                    help="enable worker debug RPCs (sleep) — tests only")
+
+    plan = commands.add_parser(
+        "plan", help="print the offline snapshot -> worker routing table"
+    )
+    plan.add_argument("--store", default=DEFAULT_STORE_DIR)
+    plan.add_argument("--worker", action="append",
+                      help="worker name for the ring (repeatable)")
+    plan.add_argument("--replicas", type=int, default=2)
+    plan.add_argument("--vnodes", type=int, default=DEFAULT_VNODES)
+
+    status = commands.add_parser(
+        "status", help="query a running router's topology and stats"
+    )
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, required=True)
+    status.add_argument("--timeout", type=float, default=60.0)
+
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    try:
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "up":
+            return _cmd_up(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        return _cmd_status(args)
+    except (ReproError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

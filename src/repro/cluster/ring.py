@@ -1,0 +1,180 @@
+"""Consistent-hash ring over snapshot content keys.
+
+The cluster router places every worker at :data:`DEFAULT_VNODES`
+pseudo-random points on a 64-bit hash circle and routes each snapshot
+digest to the first worker point at or after the digest's own point
+(clockwise).  Two properties make this the right structure for the
+sharded replay cluster:
+
+- **balance** — with enough virtual nodes per worker, each worker owns
+  a near-equal fraction of the key space (``arc_shares`` measures the
+  owned fraction exactly; the property suite bounds it);
+- **minimal remapping** — adding a worker moves to it only the keys it
+  now owns, and removing a worker moves only the keys it owned; every
+  other key keeps its owner (asserted exactly, per key, by the
+  hypothesis suite in ``tests/test_cluster.py``).
+
+Hashing uses :func:`repro.store.stable_hash64` (a SHA-256 prefix), so
+every router process — and the ``repro tools cluster plan`` CLI — maps
+the same digest to the same worker regardless of Python hash
+randomization.  Replica fan-out for hot snapshots is ``nodes_for(key,
+n)``: the first ``n`` *distinct* workers clockwise from the key.
+"""
+
+from bisect import bisect_right
+
+from repro.store import stable_hash64
+
+#: Virtual nodes per worker.  128 points per worker keeps the maximum
+#: owned arc within ~2x of the ideal share for 2-16 workers (bounded by
+#: the deterministic balance tests).
+DEFAULT_VNODES = 128
+
+#: Hash-domain salts: a worker's ring points and a routed key can never
+#: collide by construction.
+_NODE_SALT = "ring-node"
+_KEY_SALT = "ring-key"
+
+#: The ring circumference (64-bit hash space).
+RING_SPAN = 1 << 64
+
+
+def key_point(key):
+    """The ring position of a routed key (snapshot digest or alias)."""
+    return stable_hash64(str(key), salt=_KEY_SALT)
+
+
+def node_points(node, vnodes=DEFAULT_VNODES):
+    """The ``vnodes`` ring positions claimed by ``node``."""
+    return [
+        stable_hash64("%s#%d" % (node, index), salt=_NODE_SALT)
+        for index in range(vnodes)
+    ]
+
+
+class HashRing:
+    """A consistent-hash ring mapping keys to member nodes.
+
+    Nodes are opaque strings (the router uses ``host:port`` worker
+    ids).  Membership changes rebuild the sorted point table — at
+    cluster scale (tens of workers, hundreds of points each) a rebuild
+    is microseconds and keeps lookups a single ``bisect``.
+    """
+
+    __slots__ = ("vnodes", "_nodes", "_points", "_hashes")
+
+    def __init__(self, nodes=(), vnodes=DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes = set()
+        self._points = []   # sorted [(hash, node)], ties broken by node
+        self._hashes = []   # parallel list of hashes for bisect
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ---------------------------------------------------
+
+    def add(self, node):
+        """Add a node; returns False if it was already a member."""
+        node = str(node)
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        self._rebuild()
+        return True
+
+    def remove(self, node):
+        """Remove a node; returns False if it was not a member."""
+        node = str(node)
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        self._rebuild()
+        return True
+
+    def _rebuild(self):
+        points = []
+        for node in self._nodes:
+            for point in node_points(node, self.vnodes):
+                points.append((point, node))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    @property
+    def nodes(self):
+        """Current members, sorted (a tuple; membership is a set)."""
+        return tuple(sorted(self._nodes))
+
+    def __contains__(self, node):
+        return str(node) in self._nodes
+
+    def __len__(self):
+        return len(self._nodes)
+
+    # -- lookups ------------------------------------------------------
+
+    def node_for(self, key):
+        """The owning node for ``key``; None on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect_right(self._hashes, key_point(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def nodes_for(self, key, count=1):
+        """The first ``count`` *distinct* nodes clockwise from ``key``.
+
+        This is the replica set for a snapshot digest: the primary
+        first, then the successive fallbacks.  Returns fewer nodes when
+        the ring has fewer members than ``count``.
+        """
+        if not self._points or count < 1:
+            return []
+        start = bisect_right(self._hashes, key_point(key))
+        found = []
+        seen = set()
+        n_points = len(self._points)
+        for offset in range(n_points):
+            node = self._points[(start + offset) % n_points][1]
+            if node not in seen:
+                seen.add(node)
+                found.append(node)
+                if len(found) == count:
+                    break
+        return found
+
+    # -- diagnostics --------------------------------------------------
+
+    def arc_shares(self):
+        """Exact fraction of the hash circle owned by each node.
+
+        The share of a node is the summed length of the arcs ending at
+        its points, divided by the circle.  ``sum(shares) == 1`` up to
+        float rounding; the balance tests bound ``max(shares)`` and
+        ``min(shares)`` against the ideal ``1 / len(ring)``.
+        """
+        if not self._points:
+            return {}
+        shares = {node: 0 for node in self._nodes}
+        previous = self._points[-1][0] - RING_SPAN
+        for point, node in self._points:
+            shares[node] += point - previous
+            previous = point
+        return {node: owned / RING_SPAN for node, owned in shares.items()}
+
+    def describe(self):
+        """JSON-able summary for the ``cluster-info`` RPC and the CLI."""
+        shares = self.arc_shares()
+        return {
+            "vnodes": self.vnodes,
+            "nodes": [
+                {"node": node, "share": shares[node]}
+                for node in self.nodes
+            ],
+        }
+
+    def __repr__(self):
+        return "<HashRing %d nodes x %d vnodes>" % (len(self), self.vnodes)

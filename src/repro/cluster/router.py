@@ -1,0 +1,744 @@
+"""The sharded replay cluster router.
+
+A :class:`ClusterRouter` is the front-end of a multi-process replay
+cluster: it speaks the same length-prefixed JSON protocol as
+:class:`~repro.service.server.TeaService` (any
+:class:`~repro.service.client.ServiceClient` works unchanged), but
+instead of replaying locally it consistent-hashes each request's
+snapshot digest onto a ring of worker processes — each one an ordinary
+``repro.service`` server over a shared
+:class:`~repro.store.AutomatonStore` — and forwards the request.
+
+Routing and load policy
+-----------------------
+- **affinity** — requests naming a snapshot route to the
+  ``replicas`` workers owning that digest on the
+  :class:`~repro.cluster.ring.HashRing` (label/benchmark aliases are
+  resolved to content keys first, so either name routes identically);
+  among the replica set the least-loaded worker wins, which fans a hot
+  snapshot out across its replicas instead of melting the primary;
+- **backpressure** — each worker has a bounded in-flight queue
+  (``max_queue``); when every eligible worker is full the request is
+  *shed* with a structured ``overloaded`` error instead of queueing
+  unboundedly — clients with a
+  :class:`~repro.service.client.RetryPolicy` back off and retry;
+- **quotas** — an optional per-client token bucket (``quota_burst``
+  tokens, refilled at ``quota_rate``/s, keyed by the ``client`` request
+  param or the peer address) rejects over-quota requests with
+  ``quota-exceeded``;
+- **health** — a background loop pings every worker; consecutive
+  failures evict the worker from the ring (requests re-route to the
+  surviving replicas) and a later successful probe rejoins it.  A
+  connection failure during a forward evicts immediately and the
+  request is retried on the next candidate, so a SIGKILL'd worker
+  never silently eats a request;
+- **drain** — shutdown closes the listener, answers every accepted
+  request, and only then stops (same discipline as the single-node
+  service).
+
+All replay-family RPCs are read-only and idempotent, which is what
+makes transparent re-forwarding after a worker death safe.
+
+Everything is metered through ``repro.obs``: ``router.*`` counters
+(forwards, sheds, quota rejections, retries, evictions, rejoins),
+per-worker queue-depth gauges, and per-method latency histograms
+(p50/p95/p99 via :class:`~repro.obs.Histogram`), exported by the
+``stats`` RPC.
+"""
+
+import asyncio
+import time
+
+from repro import __version__
+from repro.errors import ReproError
+from repro.obs import Observability
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.service.protocol import (
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_PARSE,
+    E_QUOTA,
+    E_SHUTDOWN,
+    E_TIMEOUT,
+    E_TOO_LARGE,
+    E_UNAVAILABLE,
+    MAX_PAYLOAD_DEFAULT,
+    PayloadTooLarge,
+    ProtocolError,
+    encode_frame,
+    error_reply,
+    read_frame,
+)
+
+
+class ClusterSetupError(ReproError):
+    """The router could not start (no workers, bad addresses)."""
+
+
+class _WorkerFailure(ReproError):
+    """Internal: a forward attempt failed at the transport layer."""
+
+
+class _Overloaded(ReproError):
+    """Internal: every eligible worker queue is full (mapped to
+    ``overloaded``)."""
+
+
+class _Unavailable(ReproError):
+    """Internal: no healthy worker can take the request (mapped to
+    ``worker-unavailable``)."""
+
+
+class ClusterConfig:
+    """Operational knobs for one :class:`ClusterRouter` instance."""
+
+    __slots__ = ("host", "port", "replicas", "vnodes", "max_queue",
+                 "quota_rate", "quota_burst", "health_interval",
+                 "health_timeout", "fail_after", "connect_timeout",
+                 "forward_timeout", "max_payload", "drain_timeout")
+
+    def __init__(self, host="127.0.0.1", port=0, replicas=2,
+                 vnodes=DEFAULT_VNODES, max_queue=8, quota_rate=0.0,
+                 quota_burst=0, health_interval=0.5, health_timeout=5.0,
+                 fail_after=2, connect_timeout=5.0, forward_timeout=120.0,
+                 max_payload=MAX_PAYLOAD_DEFAULT, drain_timeout=30.0):
+        self.host = host
+        self.port = port
+        #: Replica fan-out: how many distinct ring owners may serve a
+        #: given snapshot digest.
+        self.replicas = max(1, int(replicas))
+        self.vnodes = int(vnodes)
+        #: Bounded per-worker queue: in-flight forwards above this shed
+        #: with ``overloaded``.  0 sheds everything (used by tests).
+        self.max_queue = int(max_queue)
+        #: Token-bucket quota per client id; ``quota_burst <= 0``
+        #: disables quotas, ``quota_rate`` may be 0 (no refill).
+        self.quota_rate = float(quota_rate)
+        self.quota_burst = int(quota_burst)
+        self.health_interval = float(health_interval)
+        self.health_timeout = float(health_timeout)
+        #: Consecutive failed health probes before ring eviction.
+        self.fail_after = max(1, int(fail_after))
+        self.connect_timeout = float(connect_timeout)
+        self.forward_timeout = float(forward_timeout)
+        self.max_payload = max_payload
+        self.drain_timeout = float(drain_timeout)
+
+
+class TokenBucket:
+    """A classic token bucket: ``burst`` capacity, ``rate``/s refill."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate, burst, now):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def take(self, now):
+        """Consume one token; False when the bucket is empty."""
+        if now > self.stamp:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self.stamp) * self.rate)
+            self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class WorkerHandle:
+    """One worker in the router's registry (ring member or evictee)."""
+
+    __slots__ = ("worker_id", "host", "port", "pid", "healthy",
+                 "failures", "inflight", "forwards", "ever_joined")
+
+    def __init__(self, host, port, pid=None):
+        self.host = str(host)
+        self.port = int(port)
+        self.worker_id = "%s:%d" % (self.host, self.port)
+        self.pid = pid
+        self.healthy = False
+        self.failures = 0
+        self.inflight = 0
+        self.forwards = 0
+        self.ever_joined = False
+
+    def describe(self):
+        return {
+            "id": self.worker_id,
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+            "healthy": self.healthy,
+            "failures": self.failures,
+            "inflight": self.inflight,
+            "forwards": self.forwards,
+        }
+
+    def __repr__(self):
+        state = "up" if self.healthy else "down"
+        return "<WorkerHandle %s %s inflight=%d>" % (
+            self.worker_id, state, self.inflight)
+
+
+#: Methods the router answers itself; everything else is forwarded to
+#: a worker (including methods the router has never heard of — the
+#: worker's own ``unknown-method`` error passes straight through).
+LOCAL_METHODS = ("ping", "stats", "cluster-info", "worker-register",
+                 "worker-deregister", "shutdown")
+
+#: Most buckets to retain before pruning the stalest client entries.
+_MAX_BUCKETS = 4096
+
+
+class ClusterRouter:
+    """The consistent-hash router over ``repro.service`` workers.
+
+    Parameters
+    ----------
+    workers:
+        Initial worker addresses: ``(host, port)`` or ``(host, port,
+        pid)`` tuples.  Workers may also join later via the
+        ``worker-register`` RPC.
+    config:
+        :class:`ClusterConfig`; defaults are fine for tests.
+    obs:
+        Optional shared :class:`~repro.obs.Observability`.
+    """
+
+    def __init__(self, workers=(), config=None, obs=None):
+        self.config = config or ClusterConfig()
+        self.obs = obs if obs is not None else Observability()
+        self._workers = {}          # worker_id -> WorkerHandle
+        self._ring = HashRing(vnodes=self.config.vnodes)
+        self._aliases = {}          # label/benchmark -> content key
+        self._buckets = {}          # client id -> TokenBucket
+        self._server = None
+        self._inflight = set()
+        self._health_task = None
+        self._draining = False
+        self._stopped = None
+        self._started_at = None
+        for spec in workers:
+            host, port = spec[0], spec[1]
+            pid = spec[2] if len(spec) > 2 else None
+            self._add_worker(host, port, pid=pid)
+        metrics = self.obs.metrics
+        self._requests = metrics.counter("router.requests")
+        self._ok = metrics.counter("router.ok")
+        self._errors = metrics.counter("router.errors")
+        self._forwards = metrics.counter("router.forwards")
+        self._shed = metrics.counter("router.shed")
+        self._quota_rejected = metrics.counter("router.quota_rejected")
+        self._retries = metrics.counter("router.retries")
+        self._evictions = metrics.counter("router.evictions")
+        self._rejoins = metrics.counter("router.rejoins")
+        self._registers = metrics.counter("router.registers")
+        self._leaves = metrics.counter("router.leaves")
+        self._worker_errors = metrics.counter("router.worker_errors")
+        self._bytes_in = metrics.counter("router.bytes_in")
+        self._bytes_out = metrics.counter("router.bytes_out")
+        self._connections = metrics.counter("router.connections")
+        self._update_worker_gauges()
+
+    # ------------------------------------------------------------------
+    # registry / ring plumbing
+    # ------------------------------------------------------------------
+
+    def _add_worker(self, host, port, pid=None):
+        worker = WorkerHandle(host, port, pid=pid)
+        if worker.worker_id in self._workers:
+            return self._workers[worker.worker_id]
+        self._workers[worker.worker_id] = worker
+        return worker
+
+    def _update_worker_gauges(self):
+        metrics = self.obs.metrics
+        metrics.set_gauge("router.workers", len(self._workers))
+        metrics.set_gauge(
+            "router.workers_healthy",
+            sum(1 for worker in self._workers.values() if worker.healthy),
+        )
+        for worker in self._workers.values():
+            metrics.set_gauge("router.queue_depth.%s" % worker.worker_id,
+                              worker.inflight)
+
+    def _mark_up(self, worker):
+        worker.failures = 0
+        if not worker.healthy:
+            worker.healthy = True
+            if self._ring.add(worker.worker_id) and worker.ever_joined:
+                self._rejoins.inc()
+            worker.ever_joined = True
+        self._update_worker_gauges()
+
+    def _mark_down(self, worker, hard=False):
+        """One more strike against ``worker``; evict when over the bar.
+
+        ``hard`` is a transport-level failure observed while forwarding
+        (connection refused, reset mid-frame) — definitive evidence, so
+        the worker leaves the ring immediately rather than after
+        ``fail_after`` probes.
+        """
+        worker.failures += 1
+        if worker.healthy and (hard
+                               or worker.failures >= self.config.fail_after):
+            worker.healthy = False
+            if self._ring.remove(worker.worker_id):
+                self._evictions.inc()
+        self._update_worker_gauges()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self):
+        """Probe the initial workers, bind the listener, start probing."""
+        if not self._workers:
+            raise ClusterSetupError(
+                "a cluster router needs at least one worker address "
+                "(or a worker-register call once it is up)"
+            )
+        self._stopped = asyncio.Event()
+        await asyncio.gather(
+            *(self._probe(worker) for worker in self._workers.values())
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+        self._health_task = asyncio.ensure_future(self._health_loop())
+        self._started_at = time.monotonic()
+        return self
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        sockets = self._server.sockets
+        return sockets[0].getsockname()[:2]
+
+    @property
+    def healthy_workers(self):
+        return [w for w in self._workers.values() if w.healthy]
+
+    async def serve_forever(self):
+        await self._stopped.wait()
+
+    def initiate_shutdown(self):
+        """Begin a graceful drain from the event loop (signal-safe)."""
+        if not self._draining:
+            asyncio.ensure_future(self.stop())
+
+    async def stop(self):
+        """Graceful drain: refuse new work, finish in-flight, close."""
+        if self._server is None:
+            return
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+        self._server.close()
+        await self._server.wait_closed()
+        pending = [task for task in self._inflight if not task.done()]
+        if pending:
+            done, still_pending = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout
+            )
+            for task in still_pending:
+                task.cancel()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # health probing
+    # ------------------------------------------------------------------
+
+    async def _health_loop(self):
+        try:
+            while not self._draining:
+                await asyncio.sleep(self.config.health_interval)
+                await asyncio.gather(
+                    *(self._probe(worker)
+                      for worker in list(self._workers.values()))
+                )
+        except asyncio.CancelledError:
+            pass
+
+    async def _probe(self, worker):
+        """One health ping; updates ring membership either way."""
+        try:
+            reply = await self._exchange(
+                worker, "ping", {}, timeout=self.config.health_timeout
+            )
+            alive = bool(reply.get("ok"))
+        except (_WorkerFailure, asyncio.TimeoutError):
+            alive = False
+        if alive:
+            self._mark_up(worker)
+            if not self._aliases:
+                await self._refresh_aliases(worker)
+        else:
+            self._mark_down(worker)
+
+    async def _refresh_aliases(self, worker):
+        """Pull the snapshot listing once to resolve labels to digests."""
+        try:
+            reply = await self._exchange(
+                worker, "snapshots", {}, timeout=self.config.health_timeout
+            )
+        except (_WorkerFailure, asyncio.TimeoutError):
+            return
+        if not reply.get("ok"):
+            return
+        aliases = {}
+        for info in (reply.get("result") or {}).get("snapshots", ()):
+            key = info.get("key")
+            if not key:
+                continue
+            for alias in (info.get("label"), info.get("benchmark")):
+                if alias:
+                    aliases.setdefault(str(alias), key)
+        self._aliases = aliases
+
+    # ------------------------------------------------------------------
+    # connection / request plumbing (mirrors TeaService)
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        self._connections.inc()
+        peer = writer.get_extra_info("peername")
+        peer_id = "%s" % (peer[0] if peer else "unknown",)
+        write_lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    request = await read_frame(
+                        reader, self.config.max_payload,
+                        counter=self._bytes_in,
+                    )
+                except PayloadTooLarge as error:
+                    await self._send(writer, write_lock,
+                                     error_reply(None, E_TOO_LARGE, error))
+                    self._errors.inc()
+                    break
+                except ProtocolError as error:
+                    await self._send(writer, write_lock,
+                                     error_reply(None, E_PARSE, error))
+                    self._errors.inc()
+                    break
+                if request is None:
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_request(request, writer, write_lock, peer_id)
+                )
+                tasks.add(task)
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(self, writer, lock, reply):
+        data = encode_frame(reply)
+        async with lock:
+            writer.write(data)
+            await writer.drain()
+        self._bytes_out.inc(len(data))
+
+    async def _serve_request(self, request, writer, write_lock, peer_id):
+        request_id = request.get("id")
+        method = request.get("method")
+        params = request.get("params") or {}
+        self._requests.inc()
+        started = time.perf_counter()
+        if not isinstance(params, dict):
+            reply = error_reply(request_id, E_PARSE,
+                                "params must be an object")
+        elif self._draining:
+            reply = error_reply(request_id, E_SHUTDOWN, "router is draining")
+        elif method in LOCAL_METHODS:
+            reply = await self._serve_local(method, params, request_id)
+        else:
+            reply = await self._route(method, params, request_id, peer_id)
+        if reply.get("ok"):
+            self._ok.inc()
+        else:
+            self._errors.inc()
+        try:
+            await self._send(writer, write_lock, reply)
+        except (ConnectionError, OSError):
+            pass
+        elapsed = time.perf_counter() - started
+        self.obs.metrics.histogram("router.latency.%s" % method).observe(
+            elapsed)
+        self.obs.metrics.counter("router.method.%s" % method).inc()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _admit(self, params, peer_id):
+        """Token-bucket admission; returns None or an error code."""
+        if self.config.quota_burst <= 0:
+            return None
+        client = str(params.get("client") or peer_id)
+        now = time.monotonic()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= _MAX_BUCKETS:
+                stalest = min(self._buckets, key=lambda c:
+                              self._buckets[c].stamp)
+                del self._buckets[stalest]
+            bucket = self._buckets[client] = TokenBucket(
+                self.config.quota_rate, self.config.quota_burst, now
+            )
+        if bucket.take(now):
+            return None
+        self._quota_rejected.inc()
+        return E_QUOTA
+
+    def _candidates(self, params, tried):
+        """Eligible workers in preference order (affinity first)."""
+        name = params.get("snapshot")
+        if name is not None:
+            key = self._aliases.get(str(name), str(name))
+            ranked = self._ring.nodes_for(key, self.config.replicas)
+            replica_set = [
+                self._workers[node] for node in ranked
+                if node in self._workers
+                and self._workers[node].healthy
+                and node not in tried
+            ]
+            if replica_set:
+                return replica_set
+        spread = [
+            worker for worker in self._workers.values()
+            if worker.healthy and worker.worker_id not in tried
+        ]
+        spread.sort(key=lambda worker: (worker.inflight, worker.worker_id))
+        return spread
+
+    async def _route(self, method, params, request_id, peer_id):
+        """Admission + candidate selection + forward-with-retry."""
+        code = self._admit(params, peer_id)
+        if code is not None:
+            return error_reply(
+                request_id, code,
+                "client %r is over its request quota (burst %d, %.3g/s); "
+                "retry with backoff"
+                % (str(params.get("client") or peer_id),
+                   self.config.quota_burst, self.config.quota_rate),
+            )
+        tried = set()
+        while True:
+            candidates = self._candidates(params, tried)
+            if not candidates:
+                if tried:
+                    return error_reply(
+                        request_id, E_UNAVAILABLE,
+                        "all %d candidate workers failed while forwarding "
+                        "%r; retry with backoff" % (len(tried), method),
+                    )
+                return error_reply(
+                    request_id, E_UNAVAILABLE,
+                    "no healthy worker in the ring (of %d registered); "
+                    "retry with backoff" % len(self._workers),
+                )
+            worker = min(candidates, key=lambda w: w.inflight)
+            if worker.inflight >= self.config.max_queue:
+                self._shed.inc()
+                return error_reply(
+                    request_id, E_OVERLOADED,
+                    "every eligible worker queue is full "
+                    "(%d candidates at depth >= %d); retry with backoff"
+                    % (len(candidates), self.config.max_queue),
+                )
+            tried.add(worker.worker_id)
+            worker.inflight += 1
+            self.obs.metrics.set_gauge(
+                "router.queue_depth.%s" % worker.worker_id, worker.inflight)
+            try:
+                reply = await self._exchange(
+                    worker, method, params,
+                    timeout=self.config.forward_timeout,
+                )
+            except asyncio.TimeoutError:
+                self._worker_errors.inc()
+                return error_reply(
+                    request_id, E_TIMEOUT,
+                    "worker %s exceeded the %.1fs forward timeout"
+                    % (worker.worker_id, self.config.forward_timeout),
+                )
+            except _WorkerFailure:
+                # Hard transport failure: evict now, retry the next
+                # candidate.  Replay RPCs are idempotent reads, so
+                # re-forwarding can never double-apply anything.
+                self._worker_errors.inc()
+                self._mark_down(worker, hard=True)
+                self._retries.inc()
+                continue
+            finally:
+                worker.inflight -= 1
+                self.obs.metrics.set_gauge(
+                    "router.queue_depth.%s" % worker.worker_id,
+                    worker.inflight)
+            worker.forwards += 1
+            self._forwards.inc()
+            self.obs.metrics.counter(
+                "router.forward.%s" % worker.worker_id).inc()
+            reply["id"] = request_id
+            return reply
+
+    async def _exchange(self, worker, method, params, timeout):
+        """One request/response round-trip to ``worker`` on a fresh
+        connection.
+
+        Raises :class:`_WorkerFailure` on any transport-level problem
+        and lets :class:`asyncio.TimeoutError` escape for the caller to
+        classify (a slow worker is not a dead worker).
+        """
+        reader = writer = None
+        try:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(worker.host, worker.port),
+                    timeout=self.config.connect_timeout,
+                )
+            except asyncio.TimeoutError:
+                raise _WorkerFailure(
+                    "connect to %s timed out" % worker.worker_id) from None
+            except (ConnectionError, OSError) as error:
+                raise _WorkerFailure(
+                    "connect to %s failed: %s" % (worker.worker_id, error)
+                ) from None
+            frame = encode_frame(
+                {"id": 0, "method": method, "params": params})
+            try:
+                writer.write(frame)
+                await writer.drain()
+                reply = await asyncio.wait_for(
+                    read_frame(reader, self.config.max_payload),
+                    timeout=timeout,
+                )
+            except (ConnectionError, OSError, ProtocolError) as error:
+                raise _WorkerFailure(
+                    "worker %s dropped the connection: %s"
+                    % (worker.worker_id, error)
+                ) from None
+            if reply is None:
+                raise _WorkerFailure(
+                    "worker %s closed the connection before replying"
+                    % worker.worker_id
+                )
+            return reply
+        finally:
+            if writer is not None:
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    # ------------------------------------------------------------------
+    # local RPCs
+    # ------------------------------------------------------------------
+
+    async def _serve_local(self, method, params, request_id):
+        try:
+            handler = getattr(self, "_rpc_%s" % method.replace("-", "_"))
+            result = await handler(params)
+            return {"id": request_id, "ok": True, "result": result}
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — structured reply
+            return error_reply(
+                request_id, E_INTERNAL,
+                "%s: %s" % (type(error).__name__, error),
+            )
+
+    async def _rpc_ping(self, params):
+        return {
+            "pong": True,
+            "role": "router",
+            "version": __version__,
+            "workers": len(self._workers),
+            "healthy": len(self.healthy_workers),
+        }
+
+    async def _rpc_cluster_info(self, params):
+        return {
+            "draining": self._draining,
+            "replicas": self.config.replicas,
+            "max_queue": self.config.max_queue,
+            "quota": {"rate": self.config.quota_rate,
+                      "burst": self.config.quota_burst},
+            "workers": [
+                self._workers[worker_id].describe()
+                for worker_id in sorted(self._workers)
+            ],
+            "ring": self._ring.describe(),
+            "aliases": len(self._aliases),
+        }
+
+    async def _rpc_worker_register(self, params):
+        host = params.get("host", "127.0.0.1")
+        port = params.get("port")
+        if not isinstance(port, int) or not 0 < port < 65536:
+            raise ValueError("'port' must be a TCP port number")
+        worker = self._add_worker(host, port, pid=params.get("pid"))
+        self._registers.inc()
+        await self._probe(worker)
+        return {"registered": worker.worker_id,
+                "healthy": worker.healthy,
+                "workers": len(self._workers)}
+
+    async def _rpc_worker_deregister(self, params):
+        host = params.get("host", "127.0.0.1")
+        port = params.get("port")
+        if not isinstance(port, int):
+            raise ValueError("'port' must be a TCP port number")
+        worker_id = "%s:%d" % (host, port)
+        worker = self._workers.pop(worker_id, None)
+        if worker is None:
+            return {"removed": False, "workers": len(self._workers)}
+        self._ring.remove(worker_id)
+        self._leaves.inc()
+        self._update_worker_gauges()
+        return {"removed": True, "workers": len(self._workers)}
+
+    async def _rpc_stats(self, params):
+        snapshot = self.obs.snapshot()
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        counters = snapshot["metrics"]["counters"]
+        return {
+            "uptime_seconds": uptime,
+            "draining": self._draining,
+            "workers": len(self._workers),
+            "healthy": len(self.healthy_workers),
+            "qps": (counters["router.forwards"] / uptime) if uptime else 0.0,
+            "shed": counters["router.shed"],
+            "quota_rejected": counters["router.quota_rejected"],
+            "retries": counters["router.retries"],
+            "evictions": counters["router.evictions"],
+            "rejoins": counters["router.rejoins"],
+            "registers": counters["router.registers"],
+            "leaves": counters["router.leaves"],
+            "metrics": snapshot["metrics"],
+        }
+
+    async def _rpc_shutdown(self, params):
+        self.initiate_shutdown()
+        return {"stopping": True}

@@ -1,0 +1,348 @@
+"""Harnesses for driving a replay cluster from tests and scripts.
+
+Three layers, by weight:
+
+- :class:`RouterThread` — a :class:`~repro.cluster.ClusterRouter` on a
+  background event-loop thread (the cluster twin of
+  :class:`~repro.service.testing.ServiceThread`);
+- :class:`ClusterThreadHarness` — router plus N in-process
+  :class:`~repro.service.testing.ServiceThread` workers.  Everything
+  lives in the test process: fast startup, full introspection.  Used
+  by the backpressure/quota/retry tests (which need ``debug`` sleep
+  workers), but workers cannot be SIGKILLed;
+- :class:`ClusterProcessHarness` — router in-process, workers as real
+  ``python -m repro.service serve`` subprocesses over a shared store.
+  This is the chaos layer: :meth:`WorkerProcess.kill` delivers a real
+  ``SIGKILL`` mid-replay, and :meth:`WorkerProcess.restart` brings the
+  worker back on its old port so ring rejoin can be observed.
+
+Every bind in this module is ephemeral (``port=0``); the only
+apparent exception, a worker restart, reuses the port the kernel
+already assigned to that worker.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+import asyncio
+
+from repro.cluster.router import ClusterConfig, ClusterRouter
+from repro.service.client import ServiceClient
+from repro.service.testing import ServiceThread, ephemeral_config, wait_for_port_file
+
+
+class RouterThread:
+    """Run a :class:`ClusterRouter` on a background event loop thread."""
+
+    def __init__(self, workers=(), config=None, obs=None,
+                 start_timeout=120.0):
+        self.router = ClusterRouter(workers, config=config, obs=obs)
+        self.start_timeout = start_timeout
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+
+    def start(self):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="tea-router", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(
+            self.router.start(), self._loop
+        )
+        try:
+            future.result(timeout=self.start_timeout)
+        except BaseException:
+            self._shutdown_loop()
+            raise
+        return self
+
+    def stop(self):
+        """Graceful drain, then tear the loop down."""
+        if self._loop is None:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.router.stop(), self._loop
+            ).result(timeout=self.start_timeout)
+        finally:
+            self._shutdown_loop()
+
+    def run(self, coro, timeout=60.0):
+        """Run a coroutine on the router's loop (test hook)."""
+        return asyncio.run_coroutine_threadsafe(
+            coro, self._loop
+        ).result(timeout=timeout)
+
+    def _run_loop(self):
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _shutdown_loop(self):
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        if not self._loop.is_running():
+            self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        return self.router.address
+
+    @property
+    def host(self):
+        return self.address[0]
+
+    @property
+    def port(self):
+        return self.address[1]
+
+    def client(self, **kwargs):
+        """A fresh blocking client aimed at the router."""
+        host, port = self.address
+        return ServiceClient(host, port, **kwargs)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+class ClusterThreadHarness:
+    """Router + N in-process worker threads over one shared store."""
+
+    def __init__(self, store, n_workers=3, worker_config=None,
+                 router_config=None, obs=None, debug=False):
+        self.store = store
+        self.n_workers = int(n_workers)
+        self._worker_config_kwargs = dict(worker_config or {})
+        if debug:
+            self._worker_config_kwargs["debug"] = True
+        self.router_config = router_config or ClusterConfig()
+        self.obs = obs
+        self.workers = []
+        self.router_thread = None
+
+    def start(self):
+        try:
+            for _ in range(self.n_workers):
+                worker = ServiceThread(
+                    self.store,
+                    config=ephemeral_config(**self._worker_config_kwargs),
+                )
+                worker.start()
+                self.workers.append(worker)
+            self.router_thread = RouterThread(
+                [worker.address for worker in self.workers],
+                config=self.router_config, obs=self.obs,
+            )
+            self.router_thread.start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self):
+        if self.router_thread is not None:
+            try:
+                self.router_thread.stop()
+            finally:
+                self.router_thread = None
+        for worker in self.workers:
+            try:
+                worker.stop()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+        self.workers = []
+
+    @property
+    def router(self):
+        return self.router_thread.router
+
+    def client(self, **kwargs):
+        return self.router_thread.client(**kwargs)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+class WorkerProcess:
+    """One ``python -m repro.service serve`` subprocess worker.
+
+    The worker binds ``port=0`` and publishes its resolved port via
+    ``--port-file``; :meth:`restart` reuses that same port so the
+    router sees the identical worker id rejoin the ring.
+    """
+
+    def __init__(self, store_dir, workdir, name="worker", host="127.0.0.1",
+                 threads=2, debug=False, request_timeout=120.0):
+        self.store_dir = str(store_dir)
+        self.workdir = str(workdir)
+        self.name = name
+        self.host = host
+        self.threads = int(threads)
+        self.debug = debug
+        self.request_timeout = float(request_timeout)
+        self.port = None
+        self.process = None
+
+    @property
+    def pid(self):
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def address(self):
+        return (self.host, self.port)
+
+    def _port_file(self):
+        return os.path.join(self.workdir, "%s.port" % self.name)
+
+    def start(self, timeout=240.0):
+        """Spawn the worker; blocks until it publishes its port."""
+        self.spawn()
+        return self.wait_ready(timeout=timeout)
+
+    def spawn(self):
+        """Spawn without waiting (callers may start several in parallel
+        and :meth:`wait_ready` each afterwards)."""
+        port_file = self._port_file()
+        if os.path.exists(port_file):
+            os.unlink(port_file)
+        command = [
+            sys.executable, "-m", "repro.service", "serve",
+            "--store", self.store_dir,
+            "--host", self.host,
+            "--port", str(self.port or 0),
+            "--workers", str(self.threads),
+            "--timeout", str(self.request_timeout),
+            "--port-file", port_file,
+        ]
+        if self.debug:
+            command.append("--debug")
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.pathsep.join(
+            path for path in (src_root, env.get("PYTHONPATH")) if path
+        )
+        self.process = subprocess.Popen(
+            command, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        return self
+
+    def wait_ready(self, timeout=240.0):
+        self.port = wait_for_port_file(self._port_file(), timeout=timeout)
+        return self
+
+    def kill(self):
+        """SIGKILL — the chaos move.  No drain, no goodbye."""
+        if self.process is not None:
+            self.process.kill()
+            self.process.wait(timeout=30.0)
+
+    def terminate(self, timeout=60.0):
+        """SIGTERM and wait: the worker drains gracefully."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.terminate()
+            self.process.wait(timeout=timeout)
+
+    def restart(self, timeout=240.0):
+        """Relaunch on the *same* port after a kill (ring rejoin)."""
+        if self.port is None:
+            raise RuntimeError("worker was never started")
+        self.spawn()
+        return self.wait_ready(timeout=timeout)
+
+    def client(self, **kwargs):
+        return ServiceClient(self.host, self.port, **kwargs)
+
+
+class ClusterProcessHarness:
+    """Router in-process + N subprocess workers over a shared store."""
+
+    def __init__(self, store_dir, n_workers=3, router_config=None,
+                 obs=None, workdir=None, worker_threads=2, debug=False,
+                 start_timeout=240.0):
+        self.store_dir = str(store_dir)
+        self.n_workers = int(n_workers)
+        self.router_config = router_config or ClusterConfig()
+        self.obs = obs
+        self.worker_threads = worker_threads
+        self.debug = debug
+        self.start_timeout = start_timeout
+        self._tempdir = None
+        self.workdir = workdir
+        self.workers = []
+        self.router_thread = None
+
+    def start(self):
+        if self.workdir is None:
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-cluster-")
+            self.workdir = self._tempdir.name
+        try:
+            self.workers = [
+                WorkerProcess(
+                    self.store_dir, self.workdir, name="worker%d" % index,
+                    threads=self.worker_threads, debug=self.debug,
+                ).spawn()
+                for index in range(self.n_workers)
+            ]
+            for worker in self.workers:
+                worker.wait_ready(timeout=self.start_timeout)
+            self.router_thread = RouterThread(
+                [(w.host, w.port, w.pid) for w in self.workers],
+                config=self.router_config, obs=self.obs,
+                start_timeout=self.start_timeout,
+            )
+            self.router_thread.start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self):
+        if self.router_thread is not None:
+            try:
+                self.router_thread.stop()
+            finally:
+                self.router_thread = None
+        for worker in self.workers:
+            try:
+                worker.terminate()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                worker.kill()
+        self.workers = []
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+            self.workdir = None
+
+    @property
+    def router(self):
+        return self.router_thread.router
+
+    def client(self, **kwargs):
+        return self.router_thread.client(**kwargs)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

@@ -20,13 +20,20 @@ reading ``stats.blocks`` while ``repro tools metrics`` and the harness
 read one consistent store.  See ``docs/observability.md``.
 """
 
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, PhaseTimer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+)
 from repro.obs.tracer import EventTracer, TraceEvent
 from repro.obs.export import Observability, snapshot_to_json
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "PhaseTimer",
     "EventTracer",

@@ -98,20 +98,104 @@ class PhaseTimer:
         return "<PhaseTimer %s %.6fs x%d>" % (self.name, self.elapsed, self.count)
 
 
-class MetricsRegistry:
-    """One consistent store for counters, gauges and phase timers.
+class Histogram:
+    """A bounded-reservoir view of a value distribution (latencies).
 
-    ``counter`` / ``gauge`` / ``timer`` create on first use and return
-    the same object thereafter, so independently wired components that
-    agree on a name share a metric.
+    Keeps the most recent ``capacity`` observations in a ring buffer
+    plus an exact running count and total; percentiles are computed
+    over the retained window at read time.  Overwriting the oldest
+    sample (rather than random replacement) keeps the metric fully
+    deterministic, which the cluster tests rely on.  The router uses
+    these for its per-method forward latencies (p50/p95/p99).
     """
 
-    __slots__ = ("_counters", "_gauges", "_timers")
+    __slots__ = ("name", "count", "total", "capacity", "_samples",
+                 "_cursor")
+
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, name, capacity=DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("histogram capacity must be >= 1")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.capacity = int(capacity)
+        self._samples = []
+        self._cursor = 0
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def percentile(self, p):
+        """Nearest-rank percentile over the retained window.
+
+        ``p`` is in [0, 100]; returns ``None`` when nothing has been
+        observed yet.
+        """
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if p <= 0:
+            return ordered[0]
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[min(int(rank), len(ordered)) - 1]
+
+    def extend(self, samples, count=None, total=None):
+        """Fold raw samples (another histogram's window) into this one.
+
+        ``count``/``total`` override the exact running totals when the
+        sample window is itself a truncation (registry merge).
+        """
+        n_before = self.count
+        t_before = self.total
+        for value in samples:
+            self.observe(value)
+        if count is not None:
+            self.count = n_before + count
+        if total is not None:
+            self.total = t_before + total
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": max(self._samples) if self._samples else None,
+        }
+
+    @property
+    def samples(self):
+        """The retained window (a copy, unsorted)."""
+        return list(self._samples)
+
+    def __repr__(self):
+        return "<Histogram %s n=%d>" % (self.name, self.count)
+
+
+class MetricsRegistry:
+    """One consistent store for counters, gauges, timers and histograms.
+
+    ``counter`` / ``gauge`` / ``timer`` / ``histogram`` create on first
+    use and return the same object thereafter, so independently wired
+    components that agree on a name share a metric.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_timers", "_histograms")
 
     def __init__(self):
         self._counters = {}
         self._gauges = {}
         self._timers = {}
+        self._histograms = {}
 
     # -- creation / access --------------------------------------------
 
@@ -133,6 +217,12 @@ class MetricsRegistry:
             found = self._timers[name] = PhaseTimer(name)
         return found
 
+    def histogram(self, name, capacity=Histogram.DEFAULT_CAPACITY):
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name, capacity)
+        return found
+
     def set_gauge(self, name, value):
         self.gauge(name).set(value)
 
@@ -145,7 +235,7 @@ class MetricsRegistry:
 
     def snapshot(self):
         """JSON-able dict of everything the registry holds."""
-        return {
+        snap = {
             "counters": self.counters(),
             "gauges": {name: self._gauges[name].value
                        for name in sorted(self._gauges)},
@@ -157,6 +247,12 @@ class MetricsRegistry:
                 for name in sorted(self._timers)
             },
         }
+        if self._histograms:
+            snap["histograms"] = {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            }
+        return snap
 
     def merge(self, other):
         """Fold another registry (or a snapshot of one) into this one.
@@ -176,9 +272,23 @@ class MetricsRegistry:
         so merges chain.
         """
         if isinstance(other, MetricsRegistry):
+            # Registry-to-registry merges carry the raw histogram
+            # windows across; dict snapshots only carry the summary
+            # (count/total), folded below.
+            for name, histogram in other._histograms.items():
+                self.histogram(name, histogram.capacity).extend(
+                    histogram._samples, count=histogram.count,
+                    total=histogram.total,
+                )
             other = other.snapshot()
+            other.pop("histograms", None)
         elif "metrics" in other and isinstance(other.get("metrics"), dict):
             other = other["metrics"]
+        for name, summary in other.get("histograms", {}).items():
+            self.histogram(name).extend(
+                (), count=summary.get("count", 0),
+                total=summary.get("total", 0.0),
+            )
         for name, value in other.get("counters", {}).items():
             self.counter(name).value += value
         for name, value in other.get("gauges", {}).items():
@@ -201,11 +311,18 @@ class MetricsRegistry:
                 raise RuntimeError("cannot reset running timer %r" % timer.name)
             timer.elapsed = 0.0
             timer.count = 0
+        for histogram in self._histograms.values():
+            histogram.count = 0
+            histogram.total = 0.0
+            histogram._samples = []
+            histogram._cursor = 0
 
     def __len__(self):
-        return len(self._counters) + len(self._gauges) + len(self._timers)
+        return (len(self._counters) + len(self._gauges)
+                + len(self._timers) + len(self._histograms))
 
     def __repr__(self):
-        return "<MetricsRegistry %d counters, %d gauges, %d timers>" % (
+        return "<MetricsRegistry %d counters, %d gauges, %d timers, %d histograms>" % (
             len(self._counters), len(self._gauges), len(self._timers),
+            len(self._histograms),
         )

@@ -74,7 +74,7 @@ def _cmd_serve(args):
     config = ServiceConfig(
         host=args.host, port=args.port, workers=args.workers,
         request_timeout=args.timeout, max_payload=args.max_payload,
-        drain_timeout=args.drain_timeout,
+        drain_timeout=args.drain_timeout, debug=args.debug,
     )
     service = TeaService(store, config=config)
     loop = asyncio.new_event_loop()
@@ -153,6 +153,8 @@ def main(argv=None):
                        help="seconds to wait for in-flight work on shutdown")
     serve.add_argument("--port-file",
                        help="write the bound port here once listening")
+    serve.add_argument("--debug", action="store_true",
+                       help="enable debug RPCs (sleep) — tests only")
 
     call = commands.add_parser("call", help="fire one RPC as a client")
     call.add_argument("method", help="RPC method name (e.g. ping, stats)")

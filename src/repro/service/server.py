@@ -247,6 +247,7 @@ class TeaService:
         self._pool = None
         self._inflight = set()
         self._draining = False
+        self._drain_hooks = []     # callables run as the drain begins
         self._stopped = None       # asyncio.Event, created in start()
         self._started_at = None
         self._replay_memo = {}     # (key, config) -> result dict
@@ -359,6 +360,17 @@ class TeaService:
         if not self._draining:
             asyncio.ensure_future(self.stop())
 
+    def add_drain_hook(self, hook):
+        """Register a callable to run when a drain begins.
+
+        Hooks run synchronously, in registration order, right after the
+        listener closes and before in-flight requests are awaited — a
+        cluster worker uses one to deregister from its router so no new
+        forwards race the drain.  Hook exceptions are swallowed: a
+        failing deregistration must not block the drain.
+        """
+        self._drain_hooks.append(hook)
+
     async def stop(self):
         """Graceful drain: refuse new work, finish in-flight, close."""
         if self._server is None:
@@ -369,6 +381,11 @@ class TeaService:
         self._draining = True
         self._server.close()
         await self._server.wait_closed()
+        for hook in self._drain_hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 — never block the drain
+                pass
         pending = [task for task in self._inflight if not task.done()]
         if pending:
             done, still_pending = await asyncio.wait(
@@ -527,7 +544,7 @@ class TeaService:
         return entry
 
     async def _rpc_ping(self, params):
-        return {"pong": True, "version": __version__,
+        return {"pong": True, "role": "worker", "version": __version__,
                 "snapshots": len(self.entries)}
 
     async def _rpc_snapshots(self, params):

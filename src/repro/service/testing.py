@@ -9,13 +9,77 @@ and handy for interactive experiments::
     with ServiceThread(store) as service:
         with service.client() as client:
             print(client.ping())
+
+The module also owns the ephemeral-port discipline for every service
+and cluster test: :func:`ephemeral_config` builds a
+:class:`~repro.service.server.ServiceConfig` pinned to ``port=0`` (the
+kernel picks a free port at bind time, so parallel test runs can never
+collide on a fixed port), and :func:`wait_for_port_file` reads the
+bound port back from a subprocess worker's ``--port-file``.
 """
 
 import asyncio
+import os
+import socket
 import threading
+import time
 
 from repro.service.client import ServiceClient
-from repro.service.server import TeaService
+from repro.service.server import ServiceConfig, TeaService
+
+
+def ephemeral_config(**kwargs):
+    """A :class:`ServiceConfig` bound to an OS-assigned free port.
+
+    Tests must never name a fixed port — two suites (or two pytest
+    workers) racing for it is exactly the flakiness this helper
+    removes.  Any explicit ``port=`` is rejected; all other
+    :class:`ServiceConfig` knobs pass through.
+    """
+    if kwargs.get("port"):
+        raise ValueError(
+            "ephemeral_config pins port=0; do not pass a fixed port"
+        )
+    kwargs["port"] = 0
+    return ServiceConfig(**kwargs)
+
+
+def free_port(host="127.0.0.1"):
+    """One currently-free TCP port on ``host``.
+
+    Prefer ``port=0`` binds (:func:`ephemeral_config`) — the port here
+    is only *probably* still free by the time the caller binds it.  It
+    exists for the one case that genuinely needs a port before the
+    process that will own it: restarting a killed cluster worker on its
+    old address so ring rejoin can be observed.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_port_file(path, timeout=120.0, poll=0.05):
+    """Poll ``path`` (a ``--port-file``) until it holds a port number.
+
+    Subprocess servers bind ``port=0`` and publish the resolved port
+    atomically; this is the parent's side of that handshake.  Raises
+    ``TimeoutError`` if the file never materializes.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            text = ""
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read().strip()
+            except OSError:
+                text = ""
+            if text:
+                return int(text)
+        time.sleep(poll)
+    raise TimeoutError("no port appeared in %s within %.1fs"
+                       % (path, timeout))
 
 
 class ServiceThread:

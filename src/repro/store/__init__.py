@@ -32,6 +32,7 @@ from repro.store.store import (
     AutomatonStore,
     describe_snapshot,
     snapshot_key,
+    stable_hash64,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "DEFAULT_STORE_DIR",
     "describe_snapshot",
     "snapshot_key",
+    "stable_hash64",
 ]

@@ -10,6 +10,7 @@ from repro.obs import (
     Counter,
     EventTracer,
     Gauge,
+    Histogram,
     MetricsRegistry,
     Observability,
     PhaseTimer,
@@ -38,6 +39,65 @@ def test_gauge_set():
     assert gauge.value == 3.5
     gauge.set("label")
     assert gauge.value == "label"
+
+
+def test_histogram_percentiles_nearest_rank():
+    histogram = Histogram("h")
+    for value in range(1, 101):          # 1..100, shuffled order is
+        histogram.observe(101 - value)   # irrelevant to percentiles
+    assert histogram.count == 100
+    assert histogram.total == sum(range(1, 101))
+    assert histogram.percentile(0) == 1
+    assert histogram.percentile(50) == 50
+    assert histogram.percentile(95) == 95
+    assert histogram.percentile(99) == 99
+    assert histogram.percentile(100) == 100
+    snap = histogram.snapshot()
+    assert snap["p50"] == 50 and snap["p95"] == 95 and snap["p99"] == 99
+    assert snap["max"] == 100 and snap["count"] == 100
+
+
+def test_histogram_empty_and_bounded_window():
+    histogram = Histogram("h", capacity=4)
+    assert histogram.percentile(50) is None
+    assert histogram.snapshot()["p99"] is None
+    for value in (1, 2, 3, 4, 50, 60):   # 1 and 2 overwritten (oldest)
+        histogram.observe(value)
+    assert histogram.count == 6          # exact count survives...
+    assert histogram.total == 120.0      # ...and so does the total
+    assert sorted(histogram.samples) == [3, 4, 50, 60]
+    assert histogram.percentile(100) == 60
+    with pytest.raises(ValueError):
+        Histogram("h", capacity=0)
+
+
+def test_registry_histograms_in_snapshot_and_merge():
+    registry = MetricsRegistry()
+    assert "histograms" not in registry.snapshot()  # backward compatible
+    histogram = registry.histogram("lat")
+    assert registry.histogram("lat") is histogram   # create-on-first-use
+    histogram.observe(1.0)
+    histogram.observe(3.0)
+    snap = registry.snapshot()
+    assert snap["histograms"]["lat"]["count"] == 2
+    assert snap["histograms"]["lat"]["max"] == 3.0
+
+    # Registry-to-registry merge folds the raw sample windows.
+    other = MetricsRegistry()
+    other.histogram("lat").observe(2.0)
+    registry.merge(other)
+    assert registry.histogram("lat").count == 3
+    assert sorted(registry.histogram("lat").samples) == [1.0, 2.0, 3.0]
+
+    # Snapshot merges fold the exact count/total (no raw samples on
+    # the wire), so the running totals still add up.
+    registry.merge(snap)
+    assert registry.histogram("lat").count == 5
+    assert registry.histogram("lat").total == 10.0
+
+    registry.reset()
+    assert registry.histogram("lat").count == 0
+    assert registry.histogram("lat").samples == []
 
 
 def test_phase_timer_accumulates():

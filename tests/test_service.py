@@ -36,8 +36,8 @@ from repro.service.protocol import (
     result_reply,
     write_frame_blocking,
 )
-from repro.service.server import ServiceConfig, ServiceSetupError, TeaService
-from repro.service.testing import ServiceThread
+from repro.service.server import ServiceSetupError, TeaService
+from repro.service.testing import ServiceThread, ephemeral_config
 from repro.store import AutomatonStore
 from repro.traces.recorder import RecorderLimits
 from repro.workloads import load_benchmark
@@ -260,7 +260,7 @@ def test_parse_error_reply(shared_service):
 
 
 def test_payload_too_large_reply(world):
-    config = ServiceConfig(max_payload=256)
+    config = ephemeral_config(max_payload=256)
     with ServiceThread(world.store, config=config) as service:
         host, port = service.address
         with socket.create_connection((host, port), timeout=10.0) as sock:
@@ -275,7 +275,7 @@ def test_payload_too_large_reply(world):
 
 
 def test_request_timeout(world):
-    config = ServiceConfig(request_timeout=0.2, debug=True)
+    config = ephemeral_config(request_timeout=0.2, debug=True)
     with ServiceThread(world.store, config=config) as service:
         with service.client() as client:
             with pytest.raises(ServiceError) as excinfo:
@@ -390,7 +390,7 @@ def test_32_concurrent_clients_and_stats(world):
 # ---------------------------------------------------------------------
 
 def test_graceful_drain_answers_in_flight_requests(world):
-    config = ServiceConfig(debug=True)
+    config = ephemeral_config(debug=True)
     outcome = {}
 
     def long_request(service):
@@ -413,7 +413,7 @@ def test_graceful_drain_answers_in_flight_requests(world):
 
 
 def test_requests_during_drain_get_shutting_down(world):
-    config = ServiceConfig(debug=True)
+    config = ephemeral_config(debug=True)
     with ServiceThread(world.store, config=config) as service:
         client = service.client(timeout=60.0)
         with client:
