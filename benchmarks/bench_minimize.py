@@ -1,0 +1,227 @@
+"""Microbenchmark: TEA minimization — reductions, cost, bit-exactness.
+
+The minimize subsystem's acceptance bar (``docs/minimize_and_diff.md``):
+exact-mode minimization must visibly shrink recorder-duplicated
+automata (states, transitions, and the on-disk TEAB snapshot) while
+replaying **bit-exact** — identical stats, coverage and cycle count —
+against the original.  This bench measures all of it on real recorded
+workloads and refuses to report numbers whose exactness claim fails.
+
+Strategies are chosen merge-rich on purpose: tree recorders (TT/CTT)
+clone whole paths per branch and MRET re-records shared tails, which is
+exactly the redundancy Algorithm 1 faithfully preserves and the
+minimizer collapses.
+
+Modes:
+
+- default: four workload/strategy pairs at bench scale;
+- ``REPRO_BENCH_SMOKE=1`` (or ``--smoke``): one pair, smaller scale —
+  the CI configuration;
+- ``REPRO_BENCH_FULL=1``: the full subset at paper scale
+  (the configuration EXPERIMENTS.md reports).
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_minimize.py
+    PYTHONPATH=src python benchmarks/bench_minimize.py \
+        --smoke --json bench_minimize.json
+"""
+
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro.core import build_tea
+from repro.core.replay import ReplayConfig
+from repro.dbt import StarDBT
+from repro.minimize import minimize_tea
+from repro.pin import Pin, TeaReplayTool
+from repro.store import dump_tea_binary
+from repro.traces.recorder import RecorderLimits
+from repro.workloads import load_benchmark
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+if SMOKE:
+    WORKLOADS = [("181.mcf", "tt")]
+    SCALE = 0.5
+    REPEATS = 3
+elif FULL:
+    WORKLOADS = [("181.mcf", "tt"), ("181.mcf", "ctt"),
+                 ("164.gzip", "ctt"), ("176.gcc", "tt"),
+                 ("176.gcc", "ctt"), ("255.vortex", "tt"),
+                 ("256.bzip2", "tt")]
+    SCALE = 4.0
+    REPEATS = 5
+else:
+    WORKLOADS = [("181.mcf", "tt"), ("181.mcf", "ctt"),
+                 ("164.gzip", "ctt"), ("176.gcc", "tt"),
+                 ("255.vortex", "tt")]
+    SCALE = 2.0
+    REPEATS = 3
+
+
+def _capture(name, strategy):
+    """Record ``strategy`` traces; return (program, trace_set, tea)."""
+    program = load_benchmark(name, scale=SCALE).program
+    trace_set = StarDBT(
+        program, strategy=strategy, limits=RecorderLimits(hot_threshold=10)
+    ).run().trace_set
+    return program, trace_set, build_tea(trace_set)
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    return {
+        "%s/%s" % (name, strategy): _capture(name, strategy)
+        for name, strategy in WORKLOADS
+    }
+
+
+def _replay_report(program, trace_set, tea, config):
+    """(stats, coverage, cost) — the full Table 4 accounting."""
+    tool = TeaReplayTool(trace_set=trace_set, tea=tea, config=config)
+    Pin(program, tool=tool).run()
+    return tool.stats.as_dict(), tool.coverage, tool.snapshot()["cost"]
+
+
+def _best_time(thunk, repeats):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure(world_dict, repeats=REPEATS, check_exact=True):
+    """Per-workload reduction rows plus a pooled summary."""
+    rows = []
+    for key, (program, trace_set, tea) in sorted(world_dict.items()):
+        exact = minimize_tea(tea)
+        aggressive = minimize_tea(tea, mode="aggressive")
+        seconds = _best_time(lambda: minimize_tea(tea), repeats)
+        bytes_before = len(dump_tea_binary(trace_set, tea=tea))
+        bytes_after = len(dump_tea_binary(trace_set, tea=exact.tea))
+        bit_exact = None
+        if check_exact:
+            bit_exact = all(
+                _replay_report(program, trace_set, tea, factory())
+                == _replay_report(program, trace_set, exact.tea, factory())
+                for factory in (ReplayConfig.global_local,
+                                ReplayConfig.no_global_local)
+            )
+        rows.append({
+            "workload": key,
+            "states_before": exact.states_before,
+            "states_after": exact.states_after,
+            "states_aggressive": aggressive.states_after,
+            "transitions_before": exact.transitions_before,
+            "transitions_after": exact.transitions_after,
+            "state_reduction": round(exact.state_reduction, 4),
+            "snapshot_bytes_before": bytes_before,
+            "snapshot_bytes_after": bytes_after,
+            "snapshot_reduction": round(
+                1.0 - bytes_after / bytes_before, 4),
+            "minimize_seconds": seconds,
+            "bit_exact": bit_exact,
+        })
+    before = sum(row["states_before"] for row in rows)
+    after = sum(row["states_after"] for row in rows)
+    summary = {
+        "workloads": len(rows),
+        "scale": SCALE,
+        "repeats": repeats,
+        "states_before": before,
+        "states_after": after,
+        "pooled_state_reduction": round(1.0 - after / before, 4),
+        "pooled_snapshot_reduction": round(
+            1.0 - sum(r["snapshot_bytes_after"] for r in rows)
+            / sum(r["snapshot_bytes_before"] for r in rows), 4),
+        "bit_exact": (all(row["bit_exact"] for row in rows)
+                      if check_exact else None),
+    }
+    return summary, rows
+
+
+def _render(summary, rows, out=print):
+    for row in rows:
+        out("%-16s states %4d -> %4d (aggr %4d)  snapshot %6d -> %6d B "
+            "(-%4.1f%%)  %6.2f ms%s"
+            % (row["workload"], row["states_before"], row["states_after"],
+               row["states_aggressive"], row["snapshot_bytes_before"],
+               row["snapshot_bytes_after"],
+               100 * row["snapshot_reduction"],
+               1e3 * row["minimize_seconds"],
+               "" if row["bit_exact"] is None else
+               "  bit-exact" if row["bit_exact"] else "  DIVERGED"))
+    out("pooled: states -%.1f%%, snapshot bytes -%.1f%% across %d "
+        "workloads (scale %s)"
+        % (100 * summary["pooled_state_reduction"],
+           100 * summary["pooled_snapshot_reduction"],
+           summary["workloads"], summary["scale"]))
+
+
+def test_minimization_reduces_states(worlds):
+    summary, rows = measure(worlds, repeats=1, check_exact=False)
+    print()
+    _render(summary, rows)
+    assert summary["pooled_state_reduction"] > 0.05, summary
+    for row in rows:
+        assert row["states_after"] <= row["states_before"], row
+        assert row["snapshot_bytes_after"] <= row["snapshot_bytes_before"], \
+            row
+
+
+def test_exact_mode_is_bit_exact(worlds):
+    for key, (program, trace_set, tea) in sorted(worlds.items()):
+        exact = minimize_tea(tea)
+        for factory in (ReplayConfig.global_local,
+                        ReplayConfig.no_global_local):
+            original = _replay_report(program, trace_set, tea, factory())
+            minimized = _replay_report(program, trace_set, exact.tea,
+                                       factory())
+            assert original == minimized, (key, factory.__name__)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="TEA minimization reductions and bit-exactness")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one workload, CI-sized (same as "
+                             "REPRO_BENCH_SMOKE=1)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write {summary, rows} as JSON")
+    args = parser.parse_args(argv)
+
+    global WORKLOADS, SCALE, REPEATS
+    if args.smoke and not SMOKE:
+        WORKLOADS, SCALE, REPEATS = [("181.mcf", "tt")], 0.5, 3
+
+    captured = {
+        "%s/%s" % (name, strategy): _capture(name, strategy)
+        for name, strategy in WORKLOADS
+    }
+    summary, rows = measure(captured)
+    _render(summary, rows)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"summary": summary, "rows": rows}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print("json written to %s" % args.json)
+    if summary["bit_exact"] is False:
+        return 1
+    return 0 if summary["pooled_state_reduction"] > 0.05 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""TEA-to-TEA diffing: label-keyed alignment + similarity scoring.
+
+See :mod:`repro.compare.diff` for the algorithm and
+``docs/minimize_and_diff.md`` for the user-facing tour.
+"""
+
+from repro.compare.diff import TeaDiff, diff_automata, replay_delta
+
+__all__ = ["TeaDiff", "diff_automata", "replay_delta"]

@@ -1,0 +1,22 @@
+"""TEA minimization: partition-refinement state merging + budgets.
+
+See :mod:`repro.minimize.partition` for the algorithm and the
+bit-exactness argument, and ``docs/minimize_and_diff.md`` for the
+user-facing tour.
+"""
+
+from repro.minimize.partition import (
+    MODES,
+    MinimizationResult,
+    mergeable_estimate,
+    minimize_tea,
+    state_cache_safe,
+)
+
+__all__ = [
+    "MODES",
+    "MinimizationResult",
+    "mergeable_estimate",
+    "minimize_tea",
+    "state_cache_safe",
+]

@@ -228,6 +228,19 @@ class ServiceClient:
             params["engine"] = engine
         return self.call("coverage", **params)
 
+    def diff(self, b, a=None, config=None, engine=None, replay=False):
+        """Diff snapshot ``a`` (default resolution) against ``b``."""
+        params = {"b": b}
+        if a is not None:
+            params["snapshot"] = a
+        if config is not None:
+            params["config"] = config
+        if engine is not None:
+            params["engine"] = engine
+        if replay:
+            params["replay"] = True
+        return self.call("diff", **params)
+
     def step_batch(self, labels, snapshot=None, start=0,
                    return_states=False):
         params = {"labels": list(labels), "start": start,

@@ -269,6 +269,7 @@ class TeaService:
             "snapshot-info": self._rpc_snapshot_info,
             "replay": self._rpc_replay,
             "coverage": self._rpc_coverage,
+            "diff": self._rpc_diff,
             "step-batch": self._rpc_step_batch,
             "stats": self._rpc_stats,
             "shutdown": self._rpc_shutdown,
@@ -600,6 +601,56 @@ class TeaService:
         result["engine"] = engine
         async with self._replay_memo_lock:
             self._replay_memo.setdefault((entry.key, name, engine), result)
+        return result
+
+    async def _rpc_diff(self, params):
+        """Structural diff between two loaded snapshots.
+
+        ``snapshot`` (or its alias ``a``) names the left side — the
+        usual single-snapshot default applies — and ``b`` the right
+        side.  The router's consistent-hash affinity keys on
+        ``snapshot``, so diffs pass through the cluster untouched and
+        land on a worker holding the left snapshot.  With
+        ``replay: true`` both sides are also replayed (honouring
+        ``config`` / ``engine``) and the numeric deltas attached.
+        """
+        from repro.compare import diff_automata, replay_delta
+
+        if "snapshot" not in params and "a" in params:
+            params = dict(params, snapshot=params["a"])
+        entry_a = self._resolve(params)
+        name_b = params.get("b")
+        if name_b is None:
+            raise _BadParams("'b' (the snapshot to diff against) is required")
+        entry_b = self._resolve({"snapshot": name_b})
+        loop = asyncio.get_event_loop()
+        diff = await loop.run_in_executor(
+            self._pool, lambda: diff_automata(
+                entry_a.tea, entry_b.tea,
+                label_a=entry_a.label or entry_a.key,
+                label_b=entry_b.label or entry_b.key,
+                obs=self.obs,
+            ),
+        )
+        result = diff.to_json()
+        result["snapshot_a"] = entry_a.key
+        result["snapshot_b"] = entry_b.key
+        if params.get("replay"):
+            base = {
+                key: params[key] for key in ("config", "engine", "batch")
+                if key in params
+            }
+            report_a = await self._rpc_replay(
+                dict(base, snapshot=entry_a.key)
+            )
+            report_b = await self._rpc_replay(
+                dict(base, snapshot=entry_b.key)
+            )
+            result["replay"] = {
+                "a": report_a,
+                "b": report_b,
+                "delta": replay_delta(report_a, report_b),
+            }
         return result
 
     async def _rpc_coverage(self, params):

@@ -94,6 +94,7 @@ class AutomatonStore:
         self._verify_failed = metrics.counter("store.verify_failed")
         self._jit_hits = metrics.counter("store.jit_hits")
         self._jit_codegen = metrics.counter("store.jit_codegen")
+        self._gc_removed = metrics.counter("store.gc_removed")
 
     def _gate(self, key, data):
         """Run the snapshot rules over ``data`` when the gate is on."""
@@ -175,6 +176,51 @@ class AutomatonStore:
         info = peek_tea_binary(self.get_bytes(key))
         info["key"] = key
         return info
+
+    def put_minimized(self, key, block_index=None, mode="exact",
+                      budget=None, hotness=None):
+        """Minimize snapshot ``key`` and store the result next to it.
+
+        Returns ``(new_key, result)`` — the minimized snapshot's
+        content key and the :class:`~repro.minimize.MinimizationResult`
+        that produced it.  The new snapshot's meta carries full
+        provenance (gated by verify rule TEA050 at every load
+        boundary): ``minimized_from`` names the original content key,
+        ``minimize`` summarizes the pass, and any ``label`` gains a
+        ``-min`` suffix so the two never alias in the service registry.
+
+        ``block_index`` must cover the program the snapshot was
+        recorded against; when omitted it is rebuilt from the
+        snapshot's ``benchmark``/``scale`` meta (the service
+        convention).  The profile section is dropped — its counts are
+        keyed by original state identities.
+        """
+        from repro.minimize import minimize_tea
+
+        data = self.get_bytes(key)
+        self._gate(key, data)
+        meta = peek_tea_binary(data).get("meta") or {}
+        if block_index is None:
+            from repro.cfg.basic_block import BlockIndex
+            from repro.verify.api import program_for_meta
+
+            program = program_for_meta(meta)
+            if program is None:
+                raise SerializationError(
+                    "snapshot %s carries no benchmark meta; pass a "
+                    "block_index to minimize it" % key
+                )
+            block_index = BlockIndex(program)
+        trace_set, tea, _profile = load_tea_binary(data, block_index)
+        result = minimize_tea(tea, mode=mode, budget=budget,
+                              hotness=hotness, obs=self.obs)
+        out_meta = dict(meta)
+        out_meta["minimized_from"] = key
+        out_meta["minimize"] = result.describe()
+        if out_meta.get("label"):
+            out_meta["label"] = "%s-min" % out_meta["label"]
+        new_key = self.put(trace_set, tea=result.tea, meta=out_meta)
+        return new_key, result
 
     # ------------------------------------------------------------------
     # JIT code cache
@@ -292,6 +338,29 @@ class AutomatonStore:
                         and not filename.startswith(".")):
                     yield os.path.join(shard_dir, filename)
 
+    def gc(self):
+        """Remove orphaned cached JIT sources; returns how many.
+
+        A ``<key>.<config>.jit.py`` cache entry is only meaningful next
+        to its sibling ``<key>.teab`` snapshot (TEA034 proves the baked
+        tables against it).  When the snapshot is deleted out-of-band
+        the generated source used to leak in the shard directory
+        forever; ``gc`` prunes exactly those orphans and counts them in
+        ``store.gc_removed``.
+        """
+        removed = 0
+        for path in list(self._jit_paths()):
+            key = os.path.basename(path).split(".", 1)[0]
+            if os.path.exists(self.path_for(key)):
+                continue
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        self._gc_removed.inc(removed)
+        return removed
+
     def clear(self):
         """Delete every snapshot (and cached JIT source); returns how
         many snapshots were removed."""
@@ -318,12 +387,17 @@ def describe_snapshot(path):
 
     Backs ``repro tools tea info``: returns the same dict shape for
     both formats — version, format, state/transition/head counts,
-    profile presence and on-disk size.  JSON documents rebuild their
-    automaton with Algorithm 1, so the derived counts (one state per
-    TBB plus NTE, one transition per edge, one head per trace) are
+    profile presence, on-disk size, plus the minimization-relevant
+    ``mergeable_estimate`` (a first-order upper bound on how many
+    states partition refinement could merge; see
+    :func:`repro.minimize.mergeable_estimate`).  JSON documents rebuild
+    their automaton with Algorithm 1, so the derived counts (one state
+    per TBB plus NTE, one transition per edge, one head per trace) are
     reported for them.
     """
     import json
+
+    from repro.minimize import mergeable_estimate
 
     try:
         with open(path, "rb") as handle:
@@ -331,7 +405,18 @@ def describe_snapshot(path):
     except OSError as error:
         raise SerializationError("cannot read %s: %s" % (path, error)) from None
     if data[:4] == b"TEAB":
-        return peek_tea_binary(data)
+        info = peek_tea_binary(data)
+        compiled = compile_tea_binary(data, verify=False)
+        offsets = compiled.trans_offset
+        labels = compiled.trans_labels
+        edge_labels = [
+            list(labels[offsets[sid]:offsets[sid + 1]])
+            for sid in range(compiled.n_states)
+        ]
+        info["mergeable_estimate"] = mergeable_estimate(
+            edge_labels, set(compiled.head_sids)
+        )
+        return info
     try:
         document = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError):
@@ -344,6 +429,18 @@ def describe_snapshot(path):
     traces = traces_doc.get("traces", [])
     n_tbbs = sum(len(trace.get("tbbs", ())) for trace in traces)
     n_edges = sum(len(trace.get("edges", ())) for trace in traces)
+    # Mirror Algorithm 1's state numbering (NTE, then one state per TBB
+    # in trace order) to estimate merge potential for documents too.
+    edge_labels = [[]]
+    head_sids = set()
+    for trace in traces:
+        first_sid = len(edge_labels)
+        head_sids.add(first_sid)
+        by_index = {}
+        for from_index, _to_index, label in trace.get("edges", ()):
+            by_index.setdefault(from_index, []).append(label)
+        for index in range(len(trace.get("tbbs", ()))):
+            edge_labels.append(by_index.get(index, []))
     return {
         "format": "json",
         "version": document.get("version"),
@@ -357,4 +454,5 @@ def describe_snapshot(path):
         "profile": "profile" in document,
         "meta": None,
         "bytes": len(data),
+        "mergeable_estimate": mergeable_estimate(edge_labels, head_sids),
     }

@@ -19,7 +19,9 @@ from repro.verify.api import (
     default_engine,
     program_for_meta,
     verify_compiled,
+    verify_diff_report,
     verify_jit_source,
+    verify_minimization,
     verify_path,
     verify_snapshot_bytes,
     verify_tea,
@@ -41,6 +43,7 @@ __all__ = [
     "VerificationError", "ERROR", "WARNING", "INFO", "SEVERITIES",
     "all_rules", "default_engine", "program_for_meta",
     "reports_to_sarif", "rule_by_id", "verify_compiled",
-    "verify_jit_source", "verify_path", "verify_snapshot_bytes",
-    "verify_tea", "verify_trace_set",
+    "verify_diff_report", "verify_jit_source", "verify_minimization",
+    "verify_path", "verify_snapshot_bytes", "verify_tea",
+    "verify_trace_set",
 ]

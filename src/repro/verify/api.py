@@ -61,6 +61,31 @@ def verify_jit_source(source, compiled=None, source_name="<jit>",
     return _engine(engine, obs).verify(subject)
 
 
+def verify_minimization(result, trace_set=None, program=None,
+                        source="<minimize>", engine=None, obs=None):
+    """Verify a :class:`~repro.minimize.MinimizationResult`.
+
+    The minimized automaton is exposed as the ``tea`` facet too, so the
+    whole automaton family (TEA001-TEA005) checks the quotient alongside
+    the minimization-specific rules TEA051-TEA053.
+    """
+    subject = Subject(source=source, tea=result.tea, trace_set=trace_set,
+                      program=program, minimization=result)
+    return _engine(engine, obs).verify(subject)
+
+
+def verify_diff_report(report, source="<diff>", engine=None, obs=None):
+    """Verify a diff report (rule TEA054).
+
+    ``report`` may be a :class:`~repro.compare.TeaDiff` or the dict its
+    ``to_json()`` produces (e.g. straight off the service wire).
+    """
+    if hasattr(report, "to_json"):
+        report = report.to_json()
+    subject = Subject(source=source, tea_diff=report)
+    return _engine(engine, obs).verify(subject)
+
+
 def verify_snapshot_bytes(data, program=None, source="<snapshot>",
                           engine=None, obs=None, deep=True):
     """Verify TEAB snapshot bytes.

@@ -53,6 +53,7 @@ def _load_builtin_rules():
         rules_cfg,
         rules_compiled,
         rules_jit,
+        rules_minimize,
         rules_snapshot,
         rules_traces,
     )
@@ -115,7 +116,12 @@ class Subject:
     - ``compiled`` — a :class:`~repro.core.compiled.CompiledTea`;
     - ``snapshot`` — raw TEAB snapshot bytes;
     - ``jit_source`` — generated JIT replay source text (see
-      :mod:`repro.core.jit`).
+      :mod:`repro.core.jit`);
+    - ``minimization`` — a
+      :class:`~repro.minimize.MinimizationResult` (original automaton,
+      quotient and state map; enables TEA051-TEA053);
+    - ``tea_diff`` — a diff report dict in the
+      :meth:`~repro.compare.TeaDiff.to_json` shape (enables TEA054).
 
     ``views`` lazily materialises one uniform
     :class:`~repro.verify.views.AutomatonView` per available automaton
@@ -124,11 +130,12 @@ class Subject:
     """
 
     __slots__ = ("source", "tea", "trace_set", "program", "compiled",
-                 "snapshot", "jit_source", "_views")
+                 "snapshot", "jit_source", "minimization", "tea_diff",
+                 "_views")
 
     def __init__(self, source="<memory>", tea=None, trace_set=None,
                  program=None, compiled=None, snapshot=None,
-                 jit_source=None):
+                 jit_source=None, minimization=None, tea_diff=None):
         self.source = str(source)
         self.tea = tea
         self.trace_set = trace_set
@@ -136,6 +143,8 @@ class Subject:
         self.compiled = compiled
         self.snapshot = snapshot
         self.jit_source = jit_source
+        self.minimization = minimization
+        self.tea_diff = tea_diff
         self._views = None
 
     @property
@@ -156,7 +165,7 @@ class Subject:
         facets = [
             facet for facet in
             ("tea", "trace_set", "program", "compiled", "snapshot",
-             "jit_source")
+             "jit_source", "minimization", "tea_diff")
             if getattr(self, facet) is not None
         ]
         return "<Subject %s: %s>" % (self.source, "+".join(facets) or "empty")

@@ -1,0 +1,440 @@
+"""Minimization and diff rules (TEA050-TEA054).
+
+The minimizer (:mod:`repro.minimize`) and the diff engine
+(:mod:`repro.compare`) both produce artifacts that cross load
+boundaries: minimized snapshots are stored content-addressed next to
+their originals, and diff reports travel over the service protocol.
+This family gates both.
+
+- TEA050 checks the *provenance meta* of minimized snapshots (the
+  ``minimized_from`` / ``minimize`` keys written by
+  ``AutomatonStore.put_minimized``).  It requires only the ``snapshot``
+  facet, so it runs automatically wherever TEAB bytes are already
+  verified — store gets, service preload, ``repro tools verify``.
+- TEA051-TEA053 check a live :class:`~repro.minimize.MinimizationResult`
+  (language preservation on sampled label walks, state-map soundness,
+  budget invariants) and run through
+  :func:`~repro.verify.api.verify_minimization`.
+- TEA054 checks the structural soundness of a diff report dict and runs
+  through :func:`~repro.verify.api.verify_diff_report`.
+"""
+
+from repro.verify.engine import Rule, register
+
+#: TEA051 sampling parameters: heads probed per automaton and labels
+#: fed per walk.  Small on purpose — this is a smoke gate at load
+#: boundaries, not the differential suite.
+SAMPLE_HEADS = 16
+SAMPLE_DEPTH = 48
+
+
+class MinimizeProvenance(Rule):
+    rule_id = "TEA050"
+    name = "minimize-provenance"
+    family = "minimize"
+    description = (
+        "A snapshot claiming minimization provenance (meta key "
+        "'minimized_from') must carry a well-formed origin key and a "
+        "consistent 'minimize' summary (mode, budget, state counts "
+        "matching the snapshot itself)."
+    )
+    paper = "Section 5 (content-addressed snapshot reuse)"
+    requires = ("snapshot",)
+
+    def check(self, subject):
+        from repro.errors import ReproError
+        from repro.minimize import MODES
+        from repro.store.binary import peek_tea_binary
+
+        try:
+            info = peek_tea_binary(subject.snapshot)
+        except (ReproError, ValueError):
+            return  # corrupt envelope: TEA020/TEA021 own that finding
+        meta = info.get("meta")
+        if not isinstance(meta, dict) or "minimized_from" not in meta:
+            return
+        origin = meta["minimized_from"]
+        if (not isinstance(origin, str) or len(origin) != 64
+                or any(ch not in "0123456789abcdef" for ch in origin)):
+            yield self.diag(
+                "meta 'minimized_from' is not a 64-hex content key: %r"
+                % (origin,), origin=repr(origin),
+            )
+        summary = meta.get("minimize")
+        if not isinstance(summary, dict):
+            yield self.diag(
+                "minimized snapshot carries no 'minimize' summary dict "
+                "(got %r)" % type(summary).__name__,
+            )
+            return
+        mode = summary.get("mode")
+        if mode not in MODES:
+            yield self.diag(
+                "minimize summary mode %r is not one of %s"
+                % (mode, "/".join(MODES)), mode=repr(mode),
+            )
+        budget = summary.get("budget")
+        if budget is not None and (not isinstance(budget, int)
+                                   or isinstance(budget, bool)
+                                   or budget < 1):
+            yield self.diag(
+                "minimize summary budget must be null or a positive "
+                "integer, got %r" % (budget,), budget=repr(budget),
+            )
+        before = summary.get("states_before")
+        after = summary.get("states_after")
+        for label, value in (("states_before", before),
+                             ("states_after", after)):
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                yield self.diag(
+                    "minimize summary %s must be a positive integer, "
+                    "got %r" % (label, value),
+                )
+                return
+        if after > before:
+            yield self.diag(
+                "minimize summary grew the automaton: states_before=%d "
+                "< states_after=%d" % (before, after),
+                states_before=before, states_after=after,
+            )
+        if after != info["states"]:
+            yield self.diag(
+                "minimize summary states_after=%d disagrees with the "
+                "snapshot's own state table (%d states)"
+                % (after, info["states"]),
+                states_after=after, states=info["states"],
+            )
+
+
+def _sample_walks(tea):
+    """Deterministic label walks exercising every sampled head.
+
+    Each walk starts at a trace entry and then follows the *original*
+    automaton greedily — once by smallest outgoing label, once by
+    largest — injecting a guaranteed-miss label near the end so the
+    NTE fallback path is sampled too.  Deterministic by construction
+    (sorted heads, sorted labels), so verification is reproducible.
+    """
+    labels = {label for state in tea.states for label in state.transitions}
+    labels.update(tea.heads)
+    miss = (max(labels) + 1) if labels else 1
+    walks = []
+    for entry in sorted(tea.heads)[:SAMPLE_HEADS]:
+        for chooser in (min, max):
+            walk = [entry]
+            state = tea.heads[entry]
+            for position in range(SAMPLE_DEPTH):
+                if position == SAMPLE_DEPTH // 2:
+                    label = miss
+                elif state.transitions:
+                    label = chooser(state.transitions)
+                else:
+                    label = miss
+                walk.append(label)
+                state = tea.next_state(state, label)
+            walks.append(walk)
+    return walks
+
+
+class MinimizeLanguage(Rule):
+    rule_id = "TEA051"
+    name = "minimize-language"
+    family = "minimize"
+    description = (
+        "On sampled label walks the minimized automaton must agree "
+        "with the original about being in-trace (exactly without a "
+        "budget; minimized-in-trace implies original-in-trace when "
+        "states were spilled)."
+    )
+    paper = "Section 3 (TEA accepts the recorded trace language)"
+    requires = ("minimization",)
+
+    def check(self, subject):
+        result = subject.minimization
+        original = result.original
+        minimized = result.tea
+        lossless = not result.spilled
+        for walk in _sample_walks(original):
+            path_a = [s.tbb is not None for s in original.simulate(walk)]
+            path_b = [s.tbb is not None for s in minimized.simulate(walk)]
+            for step, (in_a, in_b) in enumerate(zip(path_a, path_b)):
+                if in_a == in_b:
+                    continue
+                if lossless or in_b:
+                    yield self.diag(
+                        "sampled walk from entry %#x diverges at step "
+                        "%d: original %s, minimized %s"
+                        % (walk[0], step,
+                           "in-trace" if in_a else "NTE",
+                           "in-trace" if in_b else "NTE"),
+                        entry=walk[0], step=step,
+                    )
+                    break
+
+
+class MinimizeStateMap(Rule):
+    rule_id = "TEA052"
+    name = "minimize-state-map"
+    family = "minimize"
+    description = (
+        "The minimization state map must be a total, structure- "
+        "preserving quotient: every original state maps to a live "
+        "minimized state (or was spilled), transitions commute with "
+        "the map, and the head registry keeps its entries and order."
+    )
+    paper = "Section 3 (Algorithm 1 state identity)"
+    requires = ("minimization",)
+
+    def check(self, subject):
+        from repro.core.automaton import NTE_SID
+
+        result = subject.minimization
+        original = result.original
+        minimized = result.tea
+        state_map = result.state_map
+        if len(state_map) != original.n_states:
+            yield self.diag(
+                "state map covers %d states but the original has %d"
+                % (len(state_map), original.n_states),
+            )
+            return
+        if state_map[NTE_SID] != NTE_SID:
+            yield self.diag(
+                "state map sends NTE to %r (must be %d)"
+                % (state_map[NTE_SID], NTE_SID),
+            )
+        spilled = set(result.spilled)
+        for state in original.states[1:]:
+            mapped = state_map[state.sid]
+            if mapped is None:
+                if state.sid not in spilled:
+                    yield self.diag(
+                        "state %s maps to nothing but is not recorded "
+                        "as spilled" % state.name, sid=state.sid,
+                    )
+                continue
+            if not 0 < mapped < minimized.n_states:
+                yield self.diag(
+                    "state %s maps to out-of-range minimized sid %r"
+                    % (state.name, mapped), sid=state.sid,
+                )
+                continue
+            image = minimized.states[mapped]
+            if image.tbb.start != state.tbb.start:
+                yield self.diag(
+                    "state %s (block %#x) merged into %s (block %#x): "
+                    "merged states must represent the same code"
+                    % (state.name, state.tbb.start, image.name,
+                       image.tbb.start), sid=state.sid,
+                )
+            for label, dest in state.transitions.items():
+                dest_mapped = state_map[dest.sid]
+                got = image.transitions.get(label)
+                if dest_mapped is None:
+                    if got is not None:
+                        yield self.diag(
+                            "%s keeps a transition on %#x whose "
+                            "original target %s was spilled"
+                            % (image.name, label, dest.name),
+                            sid=state.sid, label=label,
+                        )
+                elif got is None or got.sid != dest_mapped:
+                    yield self.diag(
+                        "transition %s --%#x--> %s does not commute "
+                        "with the state map (image has %s)"
+                        % (state.name, label, dest.name,
+                           got.name if got is not None else "nothing"),
+                        sid=state.sid, label=label,
+                    )
+        if list(minimized.heads) != list(original.heads):
+            yield self.diag(
+                "head registry entries or order changed: %s -> %s"
+                % (list(original.heads), list(minimized.heads)),
+            )
+            return
+        for entry, head in original.heads.items():
+            mapped = state_map[head.sid]
+            got = minimized.heads[entry]
+            if mapped is None or got.sid != mapped:
+                yield self.diag(
+                    "head %#x maps to %s but the minimized registry "
+                    "holds %s" % (entry, mapped, got.name), entry=entry,
+                )
+
+
+class MinimizeBudget(Rule):
+    rule_id = "TEA053"
+    name = "minimize-budget"
+    family = "minimize"
+    description = (
+        "Budgeted minimization must respect its cap: at most 'budget' "
+        "states, every head retained, every kept state reachable, and "
+        "every spilled state actually gone."
+    )
+    paper = "Section 6 (bounded translation-cache analogy)"
+    requires = ("minimization",)
+
+    def check(self, subject):
+        from repro.verify.views import AutomatonView
+
+        result = subject.minimization
+        if result.budget is None:
+            return
+        minimized = result.tea
+        if minimized.n_states > result.budget:
+            yield self.diag(
+                "minimized automaton has %d states, over the budget of "
+                "%d" % (minimized.n_states, result.budget),
+                states=minimized.n_states, budget=result.budget,
+            )
+        missing = [
+            entry for entry in result.original.heads
+            if entry not in minimized.heads
+        ]
+        if missing:
+            yield self.diag(
+                "budget spilled %d head state(s) (%s); heads are "
+                "mandatory" % (
+                    len(missing),
+                    ", ".join("%#x" % entry for entry in missing[:4]),
+                ),
+            )
+        view = AutomatonView.from_tea(minimized)
+        unreachable = sorted(set(range(view.n_states)) - view.reachable())
+        if unreachable:
+            yield self.diag(
+                "budget left %d unreachable state(s) behind (first: "
+                "%s)" % (len(unreachable),
+                         view.state_label(unreachable[0])),
+            )
+        alive = sum(
+            1 for sid in result.spilled if result.state_map[sid] is not None
+        )
+        if alive:
+            yield self.diag(
+                "%d state(s) are recorded as spilled but still mapped"
+                % alive,
+            )
+
+
+#: Required diff-report sections and the counters each must carry.
+_DIFF_SECTIONS = {
+    "states": ("matched", "removed", "added"),
+    "transitions": ("matched", "removed", "added", "retargeted"),
+    "heads": ("matched", "removed", "added", "retargeted"),
+}
+
+
+class DiffReportShape(Rule):
+    rule_id = "TEA054"
+    name = "diff-report-shape"
+    family = "minimize"
+    description = (
+        "A TEA diff report must be structurally sound: all sections "
+        "present, counters non-negative and consistent with both "
+        "sides' totals, similarity within [0, 1], and the 'identical' "
+        "flag agreeing with the counters."
+    )
+    paper = "Section 3 (comparing recorded trace shape)"
+    requires = ("tea_diff",)
+
+    def check(self, subject):
+        report = subject.tea_diff
+        if not isinstance(report, dict):
+            yield self.diag(
+                "diff report must be a dict, got %r"
+                % type(report).__name__,
+            )
+            return
+        for key in ("a", "b", "similarity", "identical"):
+            if key not in report:
+                yield self.diag("diff report is missing key %r" % key)
+                return
+        for section, fields in _DIFF_SECTIONS.items():
+            body = report.get(section)
+            if not isinstance(body, dict):
+                yield self.diag(
+                    "diff report section %r is missing or not a dict"
+                    % section,
+                )
+                return
+            for field in fields:
+                value = body.get(field)
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 0:
+                    yield self.diag(
+                        "diff counter %s.%s must be a non-negative "
+                        "integer, got %r" % (section, field, value),
+                    )
+                    return
+        for side in ("a", "b"):
+            body = report[side]
+            if not isinstance(body, dict):
+                yield self.diag("diff side %r is not a dict" % side)
+                return
+            for field in ("states", "transitions", "heads"):
+                value = body.get(field)
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 0:
+                    yield self.diag(
+                        "diff side total %s.%s must be a non-negative "
+                        "integer, got %r" % (side, field, value),
+                    )
+                    return
+
+        states = report["states"]
+        trans = report["transitions"]
+        heads = report["heads"]
+        checks = (
+            ("states", states["matched"] + states["removed"],
+             report["a"]["states"]),
+            ("states", states["matched"] + states["added"],
+             report["b"]["states"]),
+            ("transitions",
+             trans["matched"] + trans["removed"] + trans["retargeted"],
+             report["a"]["transitions"]),
+            ("transitions",
+             trans["matched"] + trans["added"] + trans["retargeted"],
+             report["b"]["transitions"]),
+            ("heads",
+             heads["matched"] + heads["removed"] + heads["retargeted"],
+             report["a"]["heads"]),
+            ("heads",
+             heads["matched"] + heads["added"] + heads["retargeted"],
+             report["b"]["heads"]),
+        )
+        for section, got, expected in checks:
+            if got != expected:
+                yield self.diag(
+                    "diff %s counters sum to %d but the side total is "
+                    "%d" % (section, got, expected),
+                    section=section, sum=got, total=expected,
+                )
+        similarity = report["similarity"]
+        if not isinstance(similarity, (int, float)) \
+                or isinstance(similarity, bool) \
+                or not 0.0 <= similarity <= 1.0:
+            yield self.diag(
+                "diff similarity must be a number in [0, 1], got %r"
+                % (similarity,),
+            )
+        clean = (
+            states["removed"] == 0 and states["added"] == 0
+            and trans["removed"] == 0 and trans["added"] == 0
+            and trans["retargeted"] == 0
+            and heads["removed"] == 0 and heads["added"] == 0
+            and heads["retargeted"] == 0
+        )
+        if bool(report["identical"]) != clean:
+            yield self.diag(
+                "diff 'identical' flag is %r but the counters say %r"
+                % (report["identical"], clean),
+            )
+
+
+register(MinimizeProvenance())
+register(MinimizeLanguage())
+register(MinimizeStateMap())
+register(MinimizeBudget())
+register(DiffReportShape())

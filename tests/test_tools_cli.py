@@ -196,3 +196,165 @@ def test_tea_info_garbage_is_clean_error(tmp_path, capsys):
     code = main(["tea", "info", str(path)])
     assert code == 1
     assert "error:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------
+# minimize / diff / store gc (see docs/minimize_and_diff.md)
+# ---------------------------------------------------------------------
+
+
+@pytest.fixture
+def nested_source_file(tmp_path):
+    from tests.conftest import NESTED_DIAMOND_SOURCE
+
+    path = tmp_path / "nested.s"
+    path.write_text(NESTED_DIAMOND_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def teab_file(tmp_path, nested_source_file):
+    """A TEAB snapshot of a merge-rich (tree-strategy) recording."""
+    from tests.conftest import record_traces
+    from repro.core import build_tea
+    from repro.isa import assemble
+    from repro.store import dump_tea_binary
+
+    program = assemble(open(nested_source_file).read())
+    trace_set = record_traces(program, strategy="tt").trace_set
+    path = tmp_path / "nested.teab"
+    path.write_bytes(dump_tea_binary(trace_set, tea=build_tea(trace_set),
+                                     meta={"label": "nested"}))
+    return str(path)
+
+
+def test_tea_info_json_format(teab_file, capsys):
+    code = main(["tea", "info", teab_file, "--format", "json"])
+    assert code == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["file"] == teab_file
+    assert info["states"] > 0
+    assert info["mergeable_estimate"] >= 1
+    assert info["meta"]["label"] == "nested"
+
+
+def test_tea_info_text_reports_shape(teab_file, capsys):
+    code = main(["tea", "info", teab_file])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "mergeable estimate" in output
+    assert "repro tools minimize" in output
+
+
+def test_minimize_cli_writes_verified_snapshot(teab_file, nested_source_file,
+                                               tmp_path, capsys):
+    from repro.store import peek_tea_binary
+
+    out = tmp_path / "min.teab"
+    code = main(["minimize", teab_file, "--source", nested_source_file,
+                 "--out", str(out), "--format", "json"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["verified"] is True
+    assert summary["merged"] >= 1
+    assert summary["states_after"] < summary["states_before"]
+    assert summary["out"] == str(out)
+    info = peek_tea_binary(out.read_bytes())
+    assert info["meta"]["label"] == "nested-min"
+    assert len(info["meta"]["minimized_from"]) == 64
+    assert info["states"] == summary["states_after"]
+    capsys.readouterr()
+    # The written snapshot is verify --strict clean.
+    assert main(["verify", "--strict", "--source", nested_source_file,
+                 str(out)]) == 0
+
+
+def test_minimize_cli_text_output(teab_file, nested_source_file, capsys):
+    code = main(["minimize", teab_file, "--source", nested_source_file])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "minimized" in output and "states:" in output
+
+
+def test_minimize_cli_json_traces_input(source_file, trace_file, capsys):
+    code = main(["minimize", trace_file, "--source", source_file,
+                 "--format", "json"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["verified"] is True
+    assert summary["merged"] == 0  # the simple loop has nothing to merge
+
+
+def test_minimize_cli_budget_too_small_is_clean_error(teab_file,
+                                                      nested_source_file,
+                                                      capsys):
+    code = main(["minimize", teab_file, "--source", nested_source_file,
+                 "--budget", "1"])
+    assert code == 1
+    assert "budget" in capsys.readouterr().err
+
+
+def test_minimize_cli_teab_without_meta_needs_program(teab_file, capsys):
+    code = main(["minimize", teab_file])
+    assert code == 1
+    assert "benchmark meta" in capsys.readouterr().err
+
+
+def test_diff_cli_exit_codes(teab_file, nested_source_file, tmp_path,
+                             capsys):
+    out = tmp_path / "min.teab"
+    assert main(["minimize", teab_file, "--source", nested_source_file,
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+
+    assert main(["diff", teab_file, teab_file]) == 0
+    assert "(identical)" in capsys.readouterr().out
+
+    code = main(["diff", teab_file, str(out)])
+    assert code == 1
+    output = capsys.readouterr().out
+    assert "tea diff:" in output and "similarity:" in output
+
+    code = main(["diff", teab_file, str(out), "--format", "json"])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert 0.0 < report["similarity"] < 1.0
+    assert report["states"]["added"] == 0
+    assert report["identical"] is False
+
+
+def test_diff_cli_missing_file_is_usage_error(teab_file, tmp_path, capsys):
+    code = main(["diff", teab_file, str(tmp_path / "missing.teab")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_diff_cli_json_without_program_is_usage_error(trace_file, capsys):
+    code = main(["diff", trace_file, trace_file])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_store_gc_cli(tmp_path, capsys):
+    import os
+
+    from tests.conftest import NESTED_DIAMOND_SOURCE, record_traces
+    from repro.core import build_tea
+    from repro.isa import assemble
+    from repro.store import AutomatonStore
+
+    program = assemble(NESTED_DIAMOND_SOURCE)
+    trace_set = record_traces(program).trace_set
+    store_dir = tmp_path / "store"
+    store = AutomatonStore(store_dir)
+    key = store.put(trace_set, tea=build_tea(trace_set))
+    store.get_jit(key)
+    os.unlink(store.path_for(key))
+
+    code = main(["store", "gc", "--dir", str(store_dir)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "removed 1 orphaned jit cache" in output
+    capsys.readouterr()
+    assert main(["store", "gc", "--dir", str(store_dir)]) == 0
+    assert "removed 0" in capsys.readouterr().out
