@@ -1,0 +1,131 @@
+"""CI smoke test for the TEAB v2 store pipeline.
+
+Exercises the operator path end to end against the golden snapshot:
+
+1. seed a fresh store with the golden v1 ``mcf_mret.teab``;
+2. ``repro tools store migrate`` it to v2 — the CLI must report the
+   key mapping and the store must hold exactly the migrated snapshot;
+3. ``repro tools verify --strict`` must pass the v2 file clean
+   (TEA024/TEA025 section + CRC rules, TEA026 round-trip rule);
+4. ``repro tools tea info`` must report the v2 section table without
+   materialising the automaton;
+5. the zero-copy ``map_compiled`` automaton must be structurally
+   identical to the decoded one, and ``store.mmap_opened`` must tick;
+6. migrating back to v1 must restore the original golden content key
+   byte-for-byte (the conversions are exact inverses).
+
+Run from the repository root with PYTHONPATH=src.  Exits non-zero on
+the first violated invariant.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.join(os.getcwd(), "src"))
+
+from repro.store import (  # noqa: E402
+    AutomatonStore,
+    snapshot_key,
+    snapshot_version,
+)
+
+GOLDEN = os.path.join("tests", "golden", "mcf_mret.teab")
+WORKDIR = ".ci_store"
+
+
+def fail(message):
+    print("FAIL: %s" % message)
+    sys.exit(1)
+
+
+def tools(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools"] + list(argv),
+        capture_output=True, text=True,
+    )
+
+
+def main():
+    shutil.rmtree(WORKDIR, ignore_errors=True)
+    store_dir = os.path.join(WORKDIR, "store")
+
+    with open(GOLDEN, "rb") as handle:
+        golden = handle.read()
+    if snapshot_version(golden) != 1:
+        fail("golden snapshot is not v1 — refresh this smoke test")
+    key_v1 = AutomatonStore(store_dir).put_bytes(golden)
+    if key_v1 != snapshot_key(golden):
+        fail("store key does not content-address the golden bytes")
+    print("seeded store with golden v1 snapshot %s" % key_v1[:12])
+
+    proc = tools("store", "migrate", "--dir", store_dir)
+    if proc.returncode != 0:
+        fail("store migrate exited %d: %s" % (proc.returncode, proc.stderr))
+    print(proc.stdout.strip())
+    if key_v1[:12] not in proc.stdout:
+        fail("migrate output does not mention the old key")
+
+    store = AutomatonStore(store_dir)
+    keys = list(store.keys())
+    if len(keys) != 1 or key_v1 in keys:
+        fail("store should hold exactly the migrated snapshot, has %s"
+             % keys)
+    key_v2 = keys[0]
+    data_v2 = store.get_bytes(key_v2)
+    if snapshot_version(data_v2) != 2:
+        fail("migrated snapshot is not v2")
+    path_v2 = store.path_for(key_v2)
+
+    proc = tools("verify", "--strict", path_v2)
+    if proc.returncode != 0:
+        fail("verify --strict rejected the migrated snapshot:\n%s"
+             % proc.stdout)
+    print("verify --strict: clean")
+
+    proc = tools("tea", "info", path_v2, "--format", "json")
+    if proc.returncode != 0:
+        fail("tea info failed: %s" % proc.stderr)
+    info = json.loads(proc.stdout)
+    sections = info.get("sections")
+    if not sections:
+        fail("tea info reported no v2 section table")
+    names = [section["name"] for section in sections]
+    for required in ("summary", "traces", "trans_offset", "trans_labels",
+                     "trans_dest", "label_pool"):
+        if required not in names:
+            fail("section %r missing from tea info output" % required)
+    print("tea info: %d sections (%s...)" % (len(sections),
+                                             ", ".join(names[:4])))
+
+    mapped = store.map_compiled(key_v2)
+    decoded = store.get_compiled(key_v2)
+    if not mapped.structurally_equal(decoded):
+        fail("zero-copy automaton differs from the decoded one")
+    counters = store.obs.metrics.snapshot()["counters"]
+    if counters.get("store.mmap_opened", 0) != 1:
+        fail("store.mmap_opened counter did not tick exactly once")
+    print("map_compiled: %d states, structurally equal, 1 mapping"
+          % mapped.n_states)
+
+    proc = tools("store", "migrate", "--dir", store_dir, "--to-version", "1")
+    if proc.returncode != 0:
+        fail("backward migrate exited %d: %s"
+             % (proc.returncode, proc.stderr))
+    store = AutomatonStore(store_dir)
+    keys = list(store.keys())
+    if keys != [key_v1]:
+        fail("backward migration did not restore the golden key: %s" % keys)
+    if store.get_bytes(key_v1) != golden:
+        fail("backward migration did not restore the golden bytes")
+    print("round trip: v1 -> v2 -> v1 restored the golden snapshot exactly")
+
+    shutil.rmtree(WORKDIR, ignore_errors=True)
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -187,7 +187,7 @@ class WorkerHandle:
 #: a worker (including methods the router has never heard of — the
 #: worker's own ``unknown-method`` error passes straight through).
 LOCAL_METHODS = ("ping", "stats", "cluster-info", "worker-register",
-                 "worker-deregister", "shutdown")
+                 "worker-deregister", "reload", "shutdown")
 
 #: Most buckets to retain before pruning the stalest client entries.
 _MAX_BUCKETS = 4096
@@ -717,6 +717,41 @@ class ClusterRouter:
         self._leaves.inc()
         self._update_worker_gauges()
         return {"removed": True, "workers": len(self._workers)}
+
+    async def _rpc_reload(self, params):
+        """Broadcast a hot-reload to every healthy worker.
+
+        Unlike replay traffic — routed to one affinity worker — a
+        reload must reach the whole fleet, or retired snapshots would
+        keep serving from the workers the swap missed.  The router
+        forwards ``reload`` to each healthy worker, aggregates the
+        per-worker outcomes, and then refreshes its label→digest alias
+        map (a swapped label now resolves to the new content key).
+        """
+        workers = self.healthy_workers
+        results = {}
+        for worker in workers:
+            try:
+                reply = await self._exchange(
+                    worker, "reload", params,
+                    timeout=self.config.forward_timeout,
+                )
+            except (asyncio.TimeoutError, _WorkerFailure) as error:
+                self._worker_errors.inc()
+                results[worker.worker_id] = {"error": str(error)}
+                continue
+            if reply.get("ok"):
+                results[worker.worker_id] = reply.get("result")
+            else:
+                results[worker.worker_id] = {
+                    "error": (reply.get("error") or {}).get("message")
+                }
+        self._aliases = {}
+        for worker in workers:
+            await self._refresh_aliases(worker)
+            if self._aliases:
+                break
+        return {"workers": results, "reached": len(results)}
 
     async def _rpc_stats(self, params):
         snapshot = self.obs.snapshot()

@@ -117,6 +117,49 @@ class CompiledTea:
     # ------------------------------------------------------------------
 
     @classmethod
+    def from_buffers(cls, n_states, tbb_flag, trans_offset, trans_labels,
+                     trans_dest, head_entries, head_sids, labels=None,
+                     instrs_dbt=None, instrs_pin=None, validate=True):
+        """Adopt already-lowered tables without copying them.
+
+        Unlike ``__init__`` (which copies every sequence into a fresh
+        ``array('q')``), the int64 buffers are taken as-is — typically
+        ``memoryview.cast('q')`` views straight into an ``mmap``'ed
+        TEAB v2 snapshot, so N processes mapping the same file share
+        one read-only copy of the tables.  The views keep their backing
+        buffer alive for the compiled automaton's lifetime.  ``labels``
+        may pass the snapshot's interned PC pool (sorted distinct
+        labels + head entries) to skip rebuilding it.
+
+        ``validate=False`` skips the TEA030 structural gate; only pass
+        it when the bytes were already certified (the v2 section scan,
+        rule TEA024, proves the same CSR invariants).
+        """
+        self = object.__new__(cls)
+        self.n_states = n_states
+        self.tbb_flag = bytes(tbb_flag)
+        self.trans_offset = trans_offset
+        self.trans_labels = trans_labels
+        self.trans_dest = trans_dest
+        self.head_entries = head_entries
+        self.head_sids = head_sids
+        self.instrs_dbt = (instrs_dbt if instrs_dbt is not None
+                           else array("q", bytes(8 * n_states)))
+        self.instrs_pin = (instrs_pin if instrs_pin is not None
+                           else array("q", bytes(8 * n_states)))
+        self._head_map = dict(zip(head_entries, head_sids))
+        if labels is None:
+            labels = array(
+                "q", sorted(set(trans_labels) | set(head_entries))
+            )
+        self.labels = labels
+        self.label_ids = {pc: lid for lid, pc in enumerate(labels)}
+        self._succ = None
+        if validate:
+            self._validate()
+        return self
+
+    @classmethod
     def from_tea(cls, tea):
         """Lower a built :class:`~repro.core.automaton.TEA`."""
         n_states = tea.n_states

@@ -58,6 +58,20 @@ def _cmd_build(args):
     if args.label:
         meta["label"] = args.label
     store = AutomatonStore(args.store)
+    # A rebuild under the same alias supersedes the snapshots the alias
+    # currently names: the service's ``reload`` RPC retires them on the
+    # next hot swap and ``store gc`` prunes them from disk afterwards.
+    alias = args.label or args.benchmark
+    superseded = []
+    for old_key in store.keys():
+        try:
+            old_meta = store.describe(old_key).get("meta") or {}
+        except ReproError:
+            continue
+        if (old_meta.get("label") or old_meta.get("benchmark")) == alias:
+            superseded.append(old_key)
+    if superseded:
+        meta["supersedes"] = sorted(superseded)
     key = store.put(trace_set, tea=tea, profile=profile, meta=meta)
     info = store.describe(key)
     print("snapshot %s" % key)
@@ -65,6 +79,8 @@ def _cmd_build(args):
           % (info["traces"], info["states"], info["transitions"],
              info["heads"], "with" if info["profile"] else "no"))
     print("  %d bytes in %s" % (info["bytes"], store.path_for(key)))
+    for old_key in superseded:
+        print("  supersedes %s" % old_key)
     return 0
 
 

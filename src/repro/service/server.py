@@ -127,14 +127,23 @@ class ServiceConfig:
 
 
 class SnapshotEntry:
-    """One preloaded snapshot: program image + trace set + automaton."""
+    """One preloaded snapshot: program image + trace set + automaton.
+
+    v2 snapshots additionally carry the read-only
+    :class:`~repro.store.mapping.SnapshotMapping` their compiled tables
+    view into (``mapping``); hot-reload retires an entry by flagging
+    ``retired`` and closes the mapping once ``inflight`` — the number
+    of replay/diff requests currently using the entry, maintained on
+    the event loop — drains to zero.
+    """
 
     __slots__ = ("key", "meta", "label", "program", "block_index",
                  "trace_set", "tea", "compiled", "profile", "n_bytes",
+                 "mapping", "inflight", "retired",
                  "_native_cycles", "_jit_codes", "_jit_lock")
 
     def __init__(self, key, meta, program, trace_set, tea, profile, n_bytes,
-                 compiled=None):
+                 compiled=None, mapping=None):
         self.key = key
         self.meta = meta or {}
         self.label = self.meta.get("label") or self.meta.get("benchmark") or key
@@ -145,6 +154,9 @@ class SnapshotEntry:
         self.compiled = compiled
         self.profile = profile
         self.n_bytes = n_bytes
+        self.mapping = mapping
+        self.inflight = 0
+        self.retired = False
         self._native_cycles = None
         # JIT codes are specialized per replay config, lazily, on the
         # worker threads — hence the lock (JitCode itself is immutable
@@ -185,7 +197,7 @@ class SnapshotEntry:
         }
 
 
-def load_entry(key, data, verify=True):
+def load_entry(key, data, verify=True, mapping=None):
     """Preload one snapshot's bytes into a :class:`SnapshotEntry`.
 
     The snapshot's meta must name the benchmark it was recorded from
@@ -197,6 +209,12 @@ def load_entry(key, data, verify=True):
     first; damage raises :class:`~repro.errors.VerificationError` with
     the offending rule ids, which :meth:`TeaService.preload` turns
     into a quarantined entry rather than a startup crash.
+
+    ``mapping`` (a :class:`~repro.store.mapping.SnapshotMapping` whose
+    bytes ``data`` must be) makes the entry zero-copy: the compiled
+    automaton's tables become views into the shared read-only ``mmap``
+    instead of private decoded arrays, so N service workers mapping the
+    same snapshot share one page-cache copy.
     """
     if verify:
         from repro.verify import verify_snapshot_bytes
@@ -216,10 +234,13 @@ def load_entry(key, data, verify=True):
     # Lower the snapshot's automaton tables into the compiled flat-table
     # layout once, up front; the successor dispatch dicts are built
     # eagerly so the worker pool shares them read-only from the start.
-    compiled = compile_tea_binary(data, verify=False)
+    if mapping is not None:
+        compiled = mapping.compiled()
+    else:
+        compiled = compile_tea_binary(data, verify=False)
     compiled.successor_maps()
     return SnapshotEntry(key, meta, program, trace_set, tea, profile,
-                         len(data), compiled=compiled)
+                         len(data), compiled=compiled, mapping=mapping)
 
 
 class TeaService:
@@ -272,6 +293,7 @@ class TeaService:
             "diff": self._rpc_diff,
             "step-batch": self._rpc_step_batch,
             "stats": self._rpc_stats,
+            "reload": self._rpc_reload,
             "shutdown": self._rpc_shutdown,
         }
         if self.config.debug:
@@ -296,8 +318,7 @@ class TeaService:
                 if key in self.entries or key in self.invalid:
                     continue
                 try:
-                    entry = load_entry(key, self.store.get_bytes(key),
-                                       verify=self.config.verify)
+                    entry = self._load_key(key)
                 except VerificationError as error:
                     self._verify_failed.inc()
                     self.invalid[key] = {
@@ -315,6 +336,25 @@ class TeaService:
                 benchmark = entry.meta.get("benchmark")
                 if benchmark:
                     self._aliases.setdefault(benchmark, key)
+        self._refresh_gauges()
+
+    def _load_key(self, key):
+        """Load one snapshot — zero-copy off a shared ``mmap`` for v2
+        files, a private decoded copy for v1."""
+        from repro.store.mapping import open_snapshot_mapping
+
+        mapping = open_snapshot_mapping(self.store.path_for(key))
+        try:
+            data = (mapping.data if mapping is not None
+                    else self.store.get_bytes(key))
+            return load_entry(key, data, verify=self.config.verify,
+                              mapping=mapping)
+        except BaseException:
+            if mapping is not None:
+                mapping.close()
+            raise
+
+    def _refresh_gauges(self):
         self.obs.metrics.set_gauge("service.snapshots", len(self.entries))
         self.obs.metrics.set_gauge("service.snapshots_invalid",
                                    len(self.invalid))
@@ -395,7 +435,115 @@ class TeaService:
             for task in still_pending:
                 task.cancel()
         self._pool.shutdown(wait=False)
+        for entry in self.entries.values():
+            if entry.mapping is not None:
+                entry.mapping.close()
         self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # hot-reload plumbing (all entry/memo mutation on the event loop)
+    # ------------------------------------------------------------------
+
+    def _retire(self, entry):
+        """Take ``entry`` out of service; release it once it drains.
+
+        The entry is already unreachable (popped from :attr:`entries`),
+        so no new request can pick it up; requests that resolved it
+        before the swap finish against the old tables and trigger
+        :meth:`_finalize` from their own ``finally`` when the last one
+        completes.
+        """
+        entry.retired = True
+        if entry.inflight == 0:
+            self._finalize(entry)
+
+    def _finalize(self, entry):
+        """Drop a drained retired entry's memoized results and mapping."""
+        for memo_key in [key for key in self._replay_memo
+                         if key[0] == entry.key]:
+            del self._replay_memo[memo_key]
+        if entry.mapping is not None:
+            entry.mapping.close()
+
+    def _release(self, entry):
+        """Count one in-flight request done (event-loop-confined)."""
+        entry.inflight -= 1
+        if entry.retired and entry.inflight == 0:
+            self._finalize(entry)
+
+    def _load_new_entries(self, known):
+        """Worker-pool body of ``reload``: load unseen store keys."""
+        added = []
+        invalid = []
+        for key in self.store.keys():
+            if key in known:
+                continue
+            try:
+                entry = self._load_key(key)
+            except VerificationError as error:
+                invalid.append((key, {"error": str(error),
+                                      "rules": error.rule_ids}))
+            except SerializationError as error:
+                invalid.append((key, {"error": str(error), "rules": []}))
+            else:
+                added.append((key, entry))
+        return added, invalid
+
+    async def _rpc_reload(self, params):
+        """Hot-swap: pick up store changes without dropping a request.
+
+        New snapshots are loaded off the event loop (in the worker
+        pool), then applied atomically on it: entries registered,
+        label/benchmark aliases repointed latest-wins, and every entry
+        that a new snapshot's ``meta["supersedes"]`` names — or whose
+        backing file is gone from the store (e.g. after ``store gc``) —
+        is retired.  Retired entries stay alive for their in-flight
+        replays and are finalized (memo purge + mapping close) when the
+        last one drains, so concurrent clients see zero dropped or
+        wrong answers across the swap.
+        """
+        loop = asyncio.get_event_loop()
+        known = set(self.entries) | set(self.invalid)
+        added, invalid = await loop.run_in_executor(
+            self._pool, self._load_new_entries, known
+        )
+        for _key, _entry in added:
+            self._verify_ok.inc()
+        for key, info in invalid:
+            self._verify_failed.inc()
+            self.invalid[key] = info
+        superseded = set()
+        for key, entry in added:
+            self.entries[key] = entry
+            self._aliases[entry.label] = key
+            benchmark = entry.meta.get("benchmark")
+            if benchmark:
+                self._aliases[benchmark] = key
+            names = entry.meta.get("supersedes")
+            if isinstance(names, str):
+                names = (names,)
+            superseded.update(name for name in names or () if name != key)
+        present = set(self.store.keys())
+        retired = sorted(
+            key for key in self.entries
+            if key in superseded or key not in present
+        )
+        for key in retired:
+            self._retire(self.entries.pop(key))
+        for key in list(self.invalid):
+            if key not in present:
+                del self.invalid[key]
+        self._aliases = {
+            alias: key for alias, key in self._aliases.items()
+            if key in self.entries
+        }
+        self._refresh_gauges()
+        return {
+            "loaded": sorted(key for key, _entry in added),
+            "retired": retired,
+            "invalid": sorted(key for key, _info in invalid),
+            "snapshots": len(self.entries),
+        }
 
     # ------------------------------------------------------------------
     # connection / request plumbing
@@ -592,15 +740,21 @@ class TeaService:
         if batch is not None and (not isinstance(batch, int) or batch < 1):
             raise _BadParams("'batch' must be a positive integer")
         loop = asyncio.get_event_loop()
-        result = await loop.run_in_executor(
-            self._pool, self._replay_blocking, entry, factory(), batch,
-            engine,
-        )
+        entry.inflight += 1
+        try:
+            result = await loop.run_in_executor(
+                self._pool, self._replay_blocking, entry, factory(), batch,
+                engine,
+            )
+        finally:
+            self._release(entry)
         result["snapshot"] = entry.key
         result["config"] = name
         result["engine"] = engine
         async with self._replay_memo_lock:
-            self._replay_memo.setdefault((entry.key, name, engine), result)
+            if not entry.retired:
+                self._replay_memo.setdefault((entry.key, name, engine),
+                                             result)
         return result
 
     async def _rpc_diff(self, params):
@@ -624,14 +778,20 @@ class TeaService:
             raise _BadParams("'b' (the snapshot to diff against) is required")
         entry_b = self._resolve({"snapshot": name_b})
         loop = asyncio.get_event_loop()
-        diff = await loop.run_in_executor(
-            self._pool, lambda: diff_automata(
-                entry_a.tea, entry_b.tea,
-                label_a=entry_a.label or entry_a.key,
-                label_b=entry_b.label or entry_b.key,
-                obs=self.obs,
-            ),
-        )
+        entry_a.inflight += 1
+        entry_b.inflight += 1
+        try:
+            diff = await loop.run_in_executor(
+                self._pool, lambda: diff_automata(
+                    entry_a.tea, entry_b.tea,
+                    label_a=entry_a.label or entry_a.key,
+                    label_b=entry_b.label or entry_b.key,
+                    obs=self.obs,
+                ),
+            )
+        finally:
+            self._release(entry_a)
+            self._release(entry_b)
         result = diff.to_json()
         result["snapshot_a"] = entry_a.key
         result["snapshot_b"] = entry_b.key

@@ -9,8 +9,18 @@ turns that into a real artifact layer:
   tables, the automaton's state/transition/head tables, and optional
   profile counters.  Loading rebuilds the saved automaton byte-exactly
   *without* re-running Algorithm 1.
+- :mod:`repro.store.binary_v2` — the TEAB v2 section layout: the same
+  content behind a fixed header + section table whose automaton tables
+  are raw little-endian int64 runs, so a snapshot lowers to a
+  :class:`~repro.core.compiled.CompiledTea` *zero-copy* from an
+  ``mmap``.  ``convert_v1_to_v2`` / ``convert_v2_to_v1`` translate
+  between the formats byte-canonically.
+- :mod:`repro.store.mapping` — :class:`SnapshotMapping`, one shared
+  read-only ``mmap`` of a v2 snapshot per process, and the cache that
+  lets every worker in a fleet serve the same page-cache copy.
 - :mod:`repro.store.store` — :class:`AutomatonStore`, a
-  content-addressed snapshot directory with atomic writes, plus
+  content-addressed snapshot directory with atomic writes (v2 by
+  default, v1 read-compatible, ``migrate()`` between them), plus
   :func:`describe_snapshot` for format-sniffing inspection of both the
   binary and the JSON TEA formats.
 
@@ -26,6 +36,21 @@ from repro.store.binary import (
     load_tea_binary_file,
     peek_tea_binary,
     save_tea_binary,
+    snapshot_version,
+)
+from repro.store.binary_v2 import (
+    BINARY_VERSION_V2,
+    DEFAULT_SNAPSHOT_VERSION,
+    convert_v1_to_v2,
+    convert_v2_to_v1,
+    dump_tea_binary_v2,
+)
+from repro.store.mapping import (
+    SnapshotMapping,
+    cached_compiled,
+    cached_mapping,
+    clear_mapping_cache,
+    open_snapshot_mapping,
 )
 from repro.store.store import (
     DEFAULT_STORE_DIR,
@@ -37,15 +62,26 @@ from repro.store.store import (
 
 __all__ = [
     "BINARY_VERSION",
+    "BINARY_VERSION_V2",
+    "DEFAULT_SNAPSHOT_VERSION",
     "compile_tea_binary",
+    "convert_v1_to_v2",
+    "convert_v2_to_v1",
     "dump_tea_binary",
+    "dump_tea_binary_v2",
     "load_tea_binary",
     "load_tea_binary_file",
     "peek_tea_binary",
     "save_tea_binary",
+    "snapshot_version",
     "AutomatonStore",
     "DEFAULT_STORE_DIR",
     "describe_snapshot",
     "snapshot_key",
     "stable_hash64",
+    "SnapshotMapping",
+    "cached_compiled",
+    "cached_mapping",
+    "clear_mapping_cache",
+    "open_snapshot_mapping",
 ]

@@ -1,4 +1,7 @@
-"""The binary TEA snapshot codec (format ``TEAB`` v1).
+"""The binary TEA snapshot codec (format ``TEAB``; the v1 varint blob
+lives here, the mmap-able v2 section layout in
+:mod:`repro.store.binary_v2` — the public loaders below dispatch on the
+version byte, so callers never care which format a snapshot uses).
 
 The JSON TEA document (:mod:`repro.core.serialization`) stores only the
 trace *shape* and rebuilds the automaton by re-running Algorithm 1 on
@@ -51,6 +54,19 @@ from repro.traces.model import Trace, TraceSet
 
 MAGIC = b"TEAB"
 BINARY_VERSION = 1
+
+
+def snapshot_version(data):
+    """The format version byte of TEAB bytes, or ``None`` if not TEAB.
+
+    The public loaders (:func:`load_tea_binary`,
+    :func:`compile_tea_binary`, :func:`peek_tea_binary`) dispatch on
+    this: v1 snapshots take the varint decode path below, v2 snapshots
+    the zero-copy section path in :mod:`repro.store.binary_v2`.
+    """
+    if len(data) >= 5 and bytes(data[:4]) == MAGIC:
+        return data[4]
+    return None
 
 FLAG_PROFILE = 0x01
 FLAG_META = 0x02
@@ -472,6 +488,10 @@ def load_tea_binary(data, block_index, with_meta=False):
     Algorithm 1.  With ``with_meta=True`` the result is a 4-tuple whose
     last element is the snapshot's meta dict (or ``None``).
     """
+    from repro.store.binary_v2 import BINARY_VERSION_V2, load_tea_binary_v2
+
+    if snapshot_version(data) == BINARY_VERSION_V2:
+        return load_tea_binary_v2(data, block_index, with_meta=with_meta)
     reader, flags = _open_snapshot(data)
     meta = _decode_meta(reader, flags)
     trace_set = _decode_traces(reader, block_index)
@@ -511,41 +531,22 @@ def _scan_traces(reader):
     return kind, n_traces, n_tbbs, n_edges
 
 
-def compile_tea_binary(data, verify=True):
-    """Lower snapshot bytes straight into a
-    :class:`~repro.core.compiled.CompiledTea`.
+def _decode_automaton_tables(reader):
+    """Decode the v1 automaton section into flat CSR tables.
 
-    The TEAB automaton section *is* the compiled layout — per-state
-    transition runs sorted by label, heads sorted by entry — so the
-    tables can be filled in one decoding pass without materializing the
-    ``TeaState`` object graph, the trace set, or a program image.  The
-    per-state instruction metadata arrays come back zeroed: the format
-    does not store instruction counts (and must not change — snapshot
-    bytes are content-addressed), and the compiled replayer never reads
-    them (packed transition streams carry the dynamic counts).
-
-    With ``verify=True`` (the default) the snapshot rule family
-    (``TEA020``-``TEA023``) certifies the bytes first and a
-    :class:`~repro.errors.VerificationError` — still a
-    :class:`SerializationError` — carries the full diagnostics when
-    they are damaged.  Pass ``verify=False`` to skip the pass (the
-    verifier itself does, to avoid re-scanning).
+    Returns ``(n_states, refs, trans_offset, trans_labels, trans_dest,
+    head_entries, head_sids)`` where ``refs`` is the flattened
+    ``(trace_id, tbb_index)`` int list.  Shared by
+    :func:`compile_tea_binary` and the v1 → v2 converter — the TEAB
+    automaton section *is* the compiled layout (label-sorted transition
+    runs, entry-sorted heads), so one pass fills every table.
     """
     from array import array
 
-    from repro.core.compiled import CompiledTea
-
-    if verify:
-        from repro.verify.api import verify_snapshot_bytes
-
-        verify_snapshot_bytes(data, deep=False).raise_on_error()
-    reader, flags = _open_snapshot(data)
-    _decode_meta(reader, flags)
-    _scan_traces(reader)
     n_states = reader.uvarint()
     if n_states < 1:
         raise SerializationError("snapshot automaton has no NTE state")
-    reader.uvarint_run(2 * (n_states - 1))   # (trace_id, index) refs
+    refs = reader.uvarint_run(2 * (n_states - 1))
     trans_offset = array("q", [0] * (n_states + 1))
     trans_labels = array("q")
     trans_dest = array("q")
@@ -577,6 +578,49 @@ def compile_tea_binary(data, verify=True):
         head_entries.append(entry)
         head_sids.append(sid)
         previous = entry
+    return (n_states, refs, trans_offset, trans_labels, trans_dest,
+            head_entries, head_sids)
+
+
+def compile_tea_binary(data, verify=True):
+    """Lower snapshot bytes straight into a
+    :class:`~repro.core.compiled.CompiledTea`.
+
+    v2 snapshots take the zero-copy path
+    (:func:`~repro.store.binary_v2.compile_tea_binary_v2`): the CSR
+    tables are int64 views straight into ``data``, so passing an
+    ``mmap`` shares the page cache across processes.  v1 snapshots are
+    decoded below: the TEAB automaton section *is* the compiled layout
+    — per-state transition runs sorted by label, heads sorted by entry
+    — so the tables can be filled in one decoding pass without
+    materializing the ``TeaState`` object graph, the trace set, or a
+    program image.  The per-state instruction metadata arrays come back
+    zeroed: the format does not store instruction counts (and must not
+    change — snapshot bytes are content-addressed), and the compiled
+    replayer never reads them (packed transition streams carry the
+    dynamic counts).
+
+    With ``verify=True`` (the default) the snapshot rule family
+    (``TEA020``-``TEA026``) certifies the bytes first and a
+    :class:`~repro.errors.VerificationError` — still a
+    :class:`SerializationError` — carries the full diagnostics when
+    they are damaged.  Pass ``verify=False`` to skip the pass (the
+    verifier itself does, to avoid re-scanning).
+    """
+    from repro.core.compiled import CompiledTea
+    from repro.store.binary_v2 import BINARY_VERSION_V2, compile_tea_binary_v2
+
+    if snapshot_version(data) == BINARY_VERSION_V2:
+        return compile_tea_binary_v2(data, verify=verify)
+    if verify:
+        from repro.verify.api import verify_snapshot_bytes
+
+        verify_snapshot_bytes(data, deep=False).raise_on_error()
+    reader, flags = _open_snapshot(data)
+    _decode_meta(reader, flags)
+    _scan_traces(reader)
+    (n_states, _refs, trans_offset, trans_labels, trans_dest,
+     head_entries, head_sids) = _decode_automaton_tables(reader)
     # Any trailing profile section is irrelevant to the tables.
     tbb_flag = b"\x00" + b"\x01" * (n_states - 1)
     return CompiledTea(n_states, tbb_flag, trans_offset, trans_labels,
@@ -588,8 +632,15 @@ def peek_tea_binary(data):
 
     Unlike :func:`load_tea_binary` this needs no :class:`BlockIndex`:
     block spans are scanned but not interned.  Returns a dict with the
-    version, counts, profile presence, meta, and byte size.
+    version, counts, profile presence, meta, and byte size.  v2
+    snapshots dispatch to the header-only
+    :func:`~repro.store.binary_v2.peek_tea_binary_v2` (no varint decode
+    at all) and additionally report the section table.
     """
+    from repro.store.binary_v2 import BINARY_VERSION_V2, peek_tea_binary_v2
+
+    if snapshot_version(data) == BINARY_VERSION_V2:
+        return peek_tea_binary_v2(data)
     reader, flags = _open_snapshot(data)
     meta = _decode_meta(reader, flags)
     kind, n_traces, n_tbbs, n_edges = _scan_traces(reader)

@@ -9,6 +9,12 @@ the binary codec is deterministic, storing the same automaton twice is
 a no-op, and a key fully identifies an automaton's shape, numbering and
 profile.
 
+New snapshots are written in the TEAB v2 section layout
+(:mod:`repro.store.binary_v2`) so :meth:`AutomatonStore.map_compiled`
+can serve them zero-copy off a shared read-only ``mmap``; v1 snapshots
+load transparently everywhere and :meth:`AutomatonStore.migrate`
+re-encodes a store in place.
+
 The replay service (:mod:`repro.service`) preloads every snapshot in a
 store at startup and serves them by key (or by the ``label`` /
 ``benchmark`` recorded in the snapshot meta) to concurrent clients.
@@ -20,10 +26,19 @@ import os
 from repro.errors import SerializationError
 from repro.obs import Observability
 from repro.store.binary import (
+    BINARY_VERSION,
     compile_tea_binary,
     dump_tea_binary,
     load_tea_binary,
     peek_tea_binary,
+    snapshot_version,
+)
+from repro.store.binary_v2 import (
+    BINARY_VERSION_V2,
+    DEFAULT_SNAPSHOT_VERSION,
+    convert_v1_to_v2,
+    convert_v2_to_v1,
+    dump_tea_binary_v2,
 )
 from repro.util import atomic_write_bytes
 
@@ -73,7 +88,7 @@ class AutomatonStore:
         otherwise.
     verify_on_load:
         When true (the default), :meth:`load` and :meth:`get_compiled`
-        run the static snapshot rules (``TEA020``-``TEA023``) over the
+        run the static snapshot rules (``TEA020``-``TEA025``) over the
         bytes before decoding and raise
         :class:`~repro.errors.VerificationError` — still a
         :class:`SerializationError` — on damage the CRC alone cannot
@@ -95,6 +110,7 @@ class AutomatonStore:
         self._jit_hits = metrics.counter("store.jit_hits")
         self._jit_codegen = metrics.counter("store.jit_codegen")
         self._gc_removed = metrics.counter("store.gc_removed")
+        self._mmap_opened = metrics.counter("store.mmap_opened")
 
     def _gate(self, key, data):
         """Run the snapshot rules over ``data`` when the gate is on."""
@@ -131,11 +147,26 @@ class AutomatonStore:
         self._puts.inc()
         return key
 
-    def put(self, trace_set, tea=None, profile=None, meta=None):
-        """Encode and store one automaton; returns its content key."""
-        return self.put_bytes(
-            dump_tea_binary(trace_set, tea=tea, profile=profile, meta=meta)
-        )
+    def put(self, trace_set, tea=None, profile=None, meta=None,
+            version=DEFAULT_SNAPSHOT_VERSION):
+        """Encode and store one automaton; returns its content key.
+
+        ``version`` selects the snapshot format: 2 (the default) writes
+        the mmap-able section layout, 1 the legacy varint stream.  Both
+        are canonical per version — the same automaton always produces
+        the same bytes, hence the same content key, within a format.
+        """
+        if version == BINARY_VERSION_V2:
+            data = dump_tea_binary_v2(trace_set, tea=tea, profile=profile,
+                                      meta=meta)
+        elif version == BINARY_VERSION:
+            data = dump_tea_binary(trace_set, tea=tea, profile=profile,
+                                   meta=meta)
+        else:
+            raise SerializationError(
+                "unknown snapshot version %r (know 1 and 2)" % (version,)
+            )
+        return self.put_bytes(data)
 
     def get_bytes(self, key):
         """Raw snapshot bytes for ``key``; raises on unknown keys."""
@@ -170,6 +201,79 @@ class AutomatonStore:
         data = self.get_bytes(key)
         self._gate(key, data)
         return compile_tea_binary(data, verify=False)
+
+    def map_compiled(self, key):
+        """A zero-copy :class:`~repro.core.compiled.CompiledTea` for
+        ``key``, backed by a shared read-only ``mmap``.
+
+        For v2 snapshots the automaton tables are int64 views straight
+        into the mapped file: every process (and every caller within a
+        process) mapping the same snapshot shares one page-cache copy,
+        so cold-start cost is O(section table) and resident growth per
+        extra worker is near zero.  The verify gate runs once per
+        mapping, not once per call; ``store.mmap_opened`` counts fresh
+        mappings.  v1 snapshots have no zero-copy layout and fall back
+        to :meth:`get_compiled` (a private decoded copy).
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(5)
+        except OSError:
+            raise SerializationError(
+                "no snapshot %s in store %s" % (key, self.root)
+            ) from None
+        if snapshot_version(head) != BINARY_VERSION_V2:
+            return self.get_compiled(key)
+        from repro.store.mapping import cached_mapping
+
+        def gate(mapping):
+            self._mmap_opened.inc()
+            self._gate(key, mapping.data)
+
+        self._gets.inc()
+        return cached_mapping(path, gate=gate).compiled()
+
+    def migrate(self, to_version=BINARY_VERSION_V2):
+        """Re-encode every snapshot into ``to_version``; returns a dict
+        mapping each re-encoded snapshot's old content key to its new
+        one (unchanged snapshots are not in the dict).
+
+        The conversion is checked before anything is deleted: the new
+        bytes must convert *back* to the original image byte-for-byte
+        (the TEA026 invariant), so a migration can never lose content.
+        Because keys are content addresses, migrating changes them;
+        cached JIT sources keyed by an old content key become orphans —
+        run :meth:`gc` afterwards to prune them.
+        """
+        if to_version not in (BINARY_VERSION, BINARY_VERSION_V2):
+            raise SerializationError(
+                "unknown snapshot version %r (know 1 and 2)" % (to_version,)
+            )
+        forward = (convert_v1_to_v2 if to_version == BINARY_VERSION_V2
+                   else convert_v2_to_v1)
+        backward = (convert_v2_to_v1 if to_version == BINARY_VERSION_V2
+                    else convert_v1_to_v2)
+        migrated = {}
+        for path in list(self._entry_paths()):
+            with open(path, "rb") as handle:
+                data = handle.read()
+            if snapshot_version(data) == to_version:
+                continue
+            old_key = os.path.basename(path)[:-len(SNAPSHOT_SUFFIX)]
+            self._gate(old_key, data)
+            converted = forward(data)
+            if backward(converted) != data:
+                raise SerializationError(
+                    "snapshot %s does not survive the v%d round-trip; "
+                    "refusing to migrate it" % (old_key, to_version)
+                )
+            migrated[old_key] = self.put_bytes(converted)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return migrated
 
     def describe(self, key):
         """Structural summary of ``key`` (no program image needed)."""
@@ -338,17 +442,58 @@ class AutomatonStore:
                         and not filename.startswith(".")):
                     yield os.path.join(shard_dir, filename)
 
-    def gc(self):
-        """Remove orphaned cached JIT sources; returns how many.
+    def _superseded_keys(self):
+        """Keys named in another present snapshot's ``supersedes`` meta.
 
-        A ``<key>.<config>.jit.py`` cache entry is only meaningful next
-        to its sibling ``<key>.teab`` snapshot (TEA034 proves the baked
-        tables against it).  When the snapshot is deleted out-of-band
-        the generated source used to leak in the shard directory
-        forever; ``gc`` prunes exactly those orphans and counts them in
-        ``store.gc_removed``.
+        ``meta["supersedes"]`` (a content key or list of them) is the
+        hot-reload breadcrumb: ``repro tools service build`` stamps it
+        on a rebuilt snapshot so the swap it triggers leaves a record of
+        what it replaced.  Chains resolve because the claims are
+        collected before anything is removed — if C supersedes B and B
+        supersedes A, one pass prunes both A and B.
+        """
+        superseded = set()
+        for path in self._entry_paths():
+            key = os.path.basename(path)[:-len(SNAPSHOT_SUFFIX)]
+            try:
+                with open(path, "rb") as handle:
+                    meta = peek_tea_binary(handle.read()).get("meta") or {}
+            except (OSError, SerializationError):
+                continue
+            names = meta.get("supersedes")
+            if isinstance(names, str):
+                names = (names,)
+            for name in names or ():
+                if name != key:
+                    superseded.add(name)
+        return superseded
+
+    def gc(self):
+        """Prune superseded snapshots and orphaned cached JIT sources;
+        returns how many files were removed.
+
+        Two passes, counted together in ``store.gc_removed``:
+
+        1. Any snapshot named in another present snapshot's
+           ``meta["supersedes"]`` is deleted — these are the old
+           versions a hot-reload swap retired but left on disk so
+           in-flight replays could drain.
+        2. A ``<key>.<config>.jit.py`` cache entry is only meaningful
+           next to its sibling ``<key>.teab`` snapshot (TEA034 proves
+           the baked tables against it); orphans — including those the
+           first pass just created — are pruned.
         """
         removed = 0
+        superseded = self._superseded_keys()
+        for key in superseded:
+            path = self.path_for(key)
+            if not os.path.exists(path):
+                continue
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
         for path in list(self._jit_paths()):
             key = os.path.basename(path).split(".", 1)[0]
             if os.path.exists(self.path_for(key)):
@@ -406,15 +551,31 @@ def describe_snapshot(path):
         raise SerializationError("cannot read %s: %s" % (path, error)) from None
     if data[:4] == b"TEAB":
         info = peek_tea_binary(data)
-        compiled = compile_tea_binary(data, verify=False)
-        offsets = compiled.trans_offset
-        labels = compiled.trans_labels
+        if snapshot_version(data) == BINARY_VERSION_V2:
+            # The CSR tables sit raw in the file: read them as int64
+            # views, never materializing an automaton at all.
+            from repro.store.binary_v2 import (
+                SEC_HEAD_SIDS, SEC_TRANS_LABELS, SEC_TRANS_OFFSET,
+                int64_section, open_v2,
+            )
+
+            sections = open_v2(data)
+            offsets = int64_section(data, *sections[SEC_TRANS_OFFSET][:2])
+            labels = int64_section(data, *sections[SEC_TRANS_LABELS][:2])
+            head_sids = int64_section(data, *sections[SEC_HEAD_SIDS][:2])
+            n_states = len(offsets) - 1
+        else:
+            compiled = compile_tea_binary(data, verify=False)
+            offsets = compiled.trans_offset
+            labels = compiled.trans_labels
+            head_sids = compiled.head_sids
+            n_states = compiled.n_states
         edge_labels = [
             list(labels[offsets[sid]:offsets[sid + 1]])
-            for sid in range(compiled.n_states)
+            for sid in range(n_states)
         ]
         info["mergeable_estimate"] = mergeable_estimate(
-            edge_labels, set(compiled.head_sids)
+            edge_labels, set(head_sids)
         )
         return info
     try:

@@ -194,6 +194,15 @@ def _cmd_tea_info(args):
     if info.get("meta"):
         print("meta: %s" % json.dumps(info["meta"], sort_keys=True))
     print("on disk: %d bytes" % info["bytes"])
+    if info.get("sections"):
+        # v2 snapshots: the mmap-able section table, straight from the
+        # header — nothing was decoded to print this.
+        print("sections:")
+        for section in info["sections"]:
+            count = section.get("count")
+            print("  %-14s %8d bytes at %-8d%s"
+                  % (section["name"], section["bytes"], section["offset"],
+                     (" (%d items)" % count) if count else ""))
     return 0
 
 
@@ -333,13 +342,26 @@ def _cmd_diff(args):
 
 
 def _cmd_store_gc(args):
-    """Prune orphaned cached JIT sources from a snapshot store."""
+    """Prune superseded snapshots and orphaned cached JIT sources."""
     from repro.store import AutomatonStore
 
     store = AutomatonStore(args.dir)
     removed = store.gc()
-    print("store %s: %d snapshots, removed %d orphaned jit cache "
+    print("store %s: %d snapshots, removed %d superseded/orphaned "
           "file(s)" % (args.dir, len(store), removed))
+    return 0
+
+
+def _cmd_store_migrate(args):
+    """Re-encode every snapshot in a store into the target format."""
+    from repro.store import AutomatonStore
+
+    store = AutomatonStore(args.dir)
+    migrated = store.migrate(to_version=args.to_version)
+    for old_key, new_key in sorted(migrated.items()):
+        print("%s -> %s" % (old_key, new_key))
+    print("store %s: migrated %d snapshot(s) to v%d (%d total)"
+          % (args.dir, len(migrated), args.to_version, len(store)))
     return 0
 
 
@@ -516,11 +538,21 @@ def main(argv=None):
     store_commands = store.add_subparsers(dest="store_command", required=True)
     store_gc = store_commands.add_parser(
         "gc",
-        help="remove orphaned cached .jit.py sources whose snapshot is "
-             "gone",
+        help="remove snapshots superseded by a hot-reload swap and "
+             "orphaned cached .jit.py sources",
     )
     store_gc.add_argument("--dir", default=".tea_store",
                           help="store directory (default %(default)s)")
+    store_migrate = store_commands.add_parser(
+        "migrate",
+        help="re-encode every snapshot into the target TEAB format "
+             "(v2 = mmap-able sections, v1 = legacy varint stream)",
+    )
+    store_migrate.add_argument("--dir", default=".tea_store",
+                               help="store directory (default %(default)s)")
+    store_migrate.add_argument("--to-version", type=int, choices=(1, 2),
+                               default=2,
+                               help="target format version (default 2)")
 
     metrics = commands.add_parser(
         "metrics",
@@ -613,6 +645,8 @@ def main(argv=None):
         if args.command == "diff":
             return _cmd_diff(args)
         if args.command == "store":
+            if args.store_command == "migrate":
+                return _cmd_store_migrate(args)
             return _cmd_store_gc(args)
         return _cmd_info(args)
     except (ReproError, OSError, json.JSONDecodeError) as error:

@@ -95,17 +95,17 @@ def verify_snapshot_bytes(data, program=None, source="<snapshot>",
     :class:`~repro.core.compiled.CompiledTea` — and, when ``program``
     is provided, fully decoded to a trace set + automaton — so the
     automaton, CFG and compiled families check the decoded content in
-    the same report.
+    the same report.  Deep runs also enable the v1<->v2 conversion
+    round-trip rule (TEA026); shallow runs (the store's verify-on-load
+    gate) skip it to stay O(section table) on v2 snapshots.
     """
     subject = Subject(source=source, snapshot=data)
     if deep:
         from repro.errors import SerializationError
         from repro.verify.rules_snapshot import scan_snapshot
 
-        scan = scan_snapshot(data)
-        sound = (scan.payload_scanned and not scan.envelope
-                 and not scan.structure)
-        if sound:
+        subject.snapshot_deep = True
+        if scan_snapshot(data).sound():
             from repro.store.binary import compile_tea_binary
 
             try:

@@ -115,6 +115,10 @@ class Subject:
       against (enables the CFG-consistency family);
     - ``compiled`` — a :class:`~repro.core.compiled.CompiledTea`;
     - ``snapshot`` — raw TEAB snapshot bytes;
+    - ``snapshot_deep`` — ``True`` when the caller opted into the
+      expensive deep snapshot checks (the conversion round-trip rule
+      TEA026); load-path gating leaves it unset so verify-on-load stays
+      O(section table);
     - ``jit_source`` — generated JIT replay source text (see
       :mod:`repro.core.jit`);
     - ``minimization`` — a
@@ -130,18 +134,20 @@ class Subject:
     """
 
     __slots__ = ("source", "tea", "trace_set", "program", "compiled",
-                 "snapshot", "jit_source", "minimization", "tea_diff",
-                 "_views")
+                 "snapshot", "snapshot_deep", "jit_source", "minimization",
+                 "tea_diff", "_views")
 
     def __init__(self, source="<memory>", tea=None, trace_set=None,
                  program=None, compiled=None, snapshot=None,
-                 jit_source=None, minimization=None, tea_diff=None):
+                 snapshot_deep=None, jit_source=None, minimization=None,
+                 tea_diff=None):
         self.source = str(source)
         self.tea = tea
         self.trace_set = trace_set
         self.program = program
         self.compiled = compiled
         self.snapshot = snapshot
+        self.snapshot_deep = snapshot_deep
         self.jit_source = jit_source
         self.minimization = minimization
         self.tea_diff = tea_diff
@@ -165,7 +171,7 @@ class Subject:
         facets = [
             facet for facet in
             ("tea", "trace_set", "program", "compiled", "snapshot",
-             "jit_source", "minimization", "tea_diff")
+             "snapshot_deep", "jit_source", "minimization", "tea_diff")
             if getattr(self, facet) is not None
         ]
         return "<Subject %s: %s>" % (self.source, "+".join(facets) or "empty")

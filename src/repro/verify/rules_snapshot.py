@@ -1,4 +1,4 @@
-"""TEAB snapshot rules (TEA020-TEA023).
+"""TEAB snapshot rules (TEA020-TEA026).
 
 The binary codec (:mod:`repro.store.binary`) already rejects the worst
 corruption — bad magic, CRC mismatch, truncated varints — but it stops
@@ -13,6 +13,13 @@ scanner: every finding becomes a diagnostic, nothing raises, and every
 varint read is simultaneously re-encoded canonically so the
 decode -> re-encode byte-identity check (TEA023) falls out of the scan
 for free.
+
+The v2 section layout (:mod:`repro.store.binary_v2`) gets the same
+treatment: TEA024 covers the section table (bounds, overlap,
+alignment, required sections, count consistency, canonical ordering of
+the zero-copy tables), TEA025 the table and per-section CRCs, and
+TEA026 — deep scans only — the v1<->v2 conversion round-trip that
+anchors content addressing across both formats.
 """
 
 import json
@@ -97,21 +104,32 @@ class _Scanner:
 class SnapshotScan:
     """Result of one collecting scan over snapshot bytes.
 
-    ``envelope`` / ``structure`` / ``order`` / ``roundtrip`` are lists
-    of ``(message, data_dict)`` findings, one list per rule family
-    member.  An envelope failure aborts the payload scan (the other
-    lists stay empty — the envelope finding is the root cause).
+    ``envelope`` / ``structure`` / ``order`` / ``roundtrip`` (v1) and
+    ``sections`` / ``crc`` (v2) are lists of ``(message, data_dict)``
+    findings, one list per rule family member.  An envelope failure
+    aborts the payload scan (the other lists stay empty — the envelope
+    finding is the root cause).  A v1 scan leaves the v2 lists empty
+    and vice versa.
     """
 
     __slots__ = ("envelope", "structure", "order", "roundtrip",
-                 "payload_scanned")
+                 "sections", "crc", "payload_scanned")
 
     def __init__(self):
         self.envelope = []
         self.structure = []
         self.order = []
         self.roundtrip = []
+        self.sections = []
+        self.crc = []
         self.payload_scanned = False
+
+    def sound(self):
+        """True when nothing blocks decoding the payload (ordering and
+        canonical-encoding findings are tolerated by the decoders)."""
+        return (self.payload_scanned and not self.envelope
+                and not self.structure and not self.sections
+                and not self.crc)
 
 
 def scan_snapshot(data):
@@ -137,10 +155,13 @@ def scan_snapshot(data):
         ))
         return scan
     version = data[4]
+    if version == 2:
+        _scan_v2(data, scan)
+        return scan
     if version != BINARY_VERSION:
         scan.envelope.append((
-            "unsupported snapshot version %d (this codec reads v%d)"
-            % (version, BINARY_VERSION),
+            "unsupported snapshot version %d (this codec reads v1/v2)"
+            % version,
             {"version": version},
         ))
         return scan
@@ -352,6 +373,258 @@ def _scan_payload(scanner, flags, scan):
                 previous = trace_id
 
 
+def _scan_v2(data, scan):
+    """Collecting scan of the TEAB v2 section layout.
+
+    The same checks :func:`repro.store.binary_v2.open_v2` applies
+    (raising at the first problem), plus the canonical-layout rules a
+    loader does not need: zeroed inter-section padding, the file ending
+    exactly at the last section, CSR monotonicity, head/label-pool
+    ordering, and the in-trace flag pattern.  Envelope damage lands in
+    ``scan.envelope``, section-table/structure damage in
+    ``scan.sections``, CRC mismatches in ``scan.crc``.
+    """
+    import struct
+    import zlib
+
+    from repro.store.binary_v2 import (
+        ENTRY_SIZE, HEADER_SIZE, INT64_SECTIONS, REQUIRED_SECTIONS,
+        SEC_HEAD_ENTRIES, SEC_HEAD_SIDS, SEC_LABEL_POOL, SEC_STATE_REFS,
+        SEC_TBB_FLAG, SEC_TRANS_DEST, SEC_TRANS_LABELS, SEC_TRANS_OFFSET,
+        SECTION_NAMES, _ENTRY, _HEADER, int64_section,
+    )
+
+    size = len(data)
+    if size < HEADER_SIZE:
+        scan.envelope.append((
+            "snapshot is %d bytes, shorter than the %d-byte v2 header"
+            % (size, HEADER_SIZE),
+            {"size": size},
+        ))
+        return
+    try:
+        (_magic, _version, flags, n_sections, file_size, table_crc,
+         reserved) = _HEADER.unpack_from(data, 0)
+    except struct.error as error:
+        scan.envelope.append(("unreadable v2 header: %s" % error, {}))
+        return
+    if flags or reserved:
+        scan.envelope.append((
+            "reserved v2 header bits are set (flags=%#x reserved=%#x); "
+            "a newer or corrupted writer produced this snapshot"
+            % (flags, reserved),
+            {"flags": flags, "reserved": reserved},
+        ))
+        return
+    if file_size != size:
+        scan.envelope.append((
+            "v2 header names %d bytes but the snapshot is %d"
+            % (file_size, size),
+            {"declared": file_size, "size": size},
+        ))
+        return
+    table_end = HEADER_SIZE + ENTRY_SIZE * n_sections
+    if n_sections < 1 or table_end > size:
+        scan.envelope.append((
+            "v2 section table (%d entries) does not fit in %d bytes"
+            % (n_sections, size),
+            {"n_sections": n_sections},
+        ))
+        return
+    actual_crc = zlib.crc32(memoryview(data)[HEADER_SIZE:table_end],
+                            zlib.crc32(memoryview(data)[:16]))
+    if actual_crc != table_crc:
+        scan.crc.append((
+            "section table CRC mismatch (stored %08x, computed %08x)"
+            % (table_crc, actual_crc),
+            {"stored": table_crc, "computed": actual_crc},
+        ))
+        scan.payload_scanned = True
+        return
+
+    sections = {}
+    previous_id = 0
+    cursor = table_end
+    bounded = True
+    for index in range(n_sections):
+        sec_id, crc, offset, length, count = _ENTRY.unpack_from(
+            data, HEADER_SIZE + ENTRY_SIZE * index
+        )
+        name = SECTION_NAMES.get(sec_id, "id=%d" % sec_id)
+        if sec_id not in SECTION_NAMES:
+            scan.sections.append((
+                "unknown v2 section id %d" % sec_id, {"section": sec_id},
+            ))
+            bounded = False
+            continue
+        if sec_id <= previous_id:
+            scan.sections.append((
+                "section ids are not strictly ascending (%d after %d)"
+                % (sec_id, previous_id),
+                {"section": sec_id},
+            ))
+        previous_id = sec_id
+        if offset % 8:
+            # Misplaced section: the CRC below would re-hash the wrong
+            # byte range, so skip it — the geometry finding is the cause.
+            scan.sections.append((
+                "section %s at offset %d is not 8-byte aligned"
+                % (name, offset),
+                {"section": sec_id, "offset": offset},
+            ))
+            bounded = False
+            continue
+        if offset < cursor or offset + length > size:
+            scan.sections.append((
+                "section %s [%d, %d) overlaps a neighbour or escapes "
+                "the %d-byte file" % (name, offset, offset + length, size),
+                {"section": sec_id, "offset": offset, "length": length},
+            ))
+            bounded = False
+            continue
+        if any(memoryview(data)[cursor:offset]):
+            scan.sections.append((
+                "padding before section %s is not zeroed" % name,
+                {"section": sec_id},
+            ))
+        if sec_id in INT64_SECTIONS and length != 8 * count:
+            scan.sections.append((
+                "int64 section %s declares %d items but %d bytes"
+                % (name, count, length),
+                {"section": sec_id, "count": count, "length": length},
+            ))
+            bounded = False
+        if sec_id == SEC_TBB_FLAG and length != count:
+            scan.sections.append((
+                "tbb_flag section declares %d states but %d bytes"
+                % (count, length),
+                {"count": count, "length": length},
+            ))
+            bounded = False
+        actual = zlib.crc32(memoryview(data)[offset:offset + length])
+        if actual != crc:
+            scan.crc.append((
+                "section %s CRC mismatch (stored %08x, computed %08x)"
+                % (name, crc, actual),
+                {"section": sec_id, "stored": crc, "computed": actual},
+            ))
+        sections[sec_id] = (offset, length, count)
+        cursor = offset + length
+    scan.payload_scanned = True
+    if bounded and cursor != size:
+        scan.sections.append((
+            "%d trailing byte(s) after the last section"
+            % (size - cursor),
+            {"trailing": size - cursor},
+        ))
+    missing = REQUIRED_SECTIONS - sections.keys()
+    if missing:
+        scan.sections.append((
+            "missing required section(s): %s"
+            % ", ".join(sorted(SECTION_NAMES[m] for m in missing)),
+            {"missing": sorted(missing)},
+        ))
+        return
+    if not bounded or scan.sections or scan.crc:
+        # Table geometry or payload integrity is already broken; the
+        # content checks below would read through the damage.
+        return
+
+    n_states = sections[SEC_TBB_FLAG][2]
+    if n_states < 1:
+        scan.sections.append((
+            "tbb_flag declares %d states; the NTE state is mandatory"
+            % n_states, {},
+        ))
+        return
+    counts = {
+        SEC_STATE_REFS: 2 * (n_states - 1),
+        SEC_TRANS_OFFSET: n_states + 1,
+    }
+    for sec_id, expected in counts.items():
+        if sections[sec_id][2] != expected:
+            scan.sections.append((
+                "section %s holds %d items; %d states require %d"
+                % (SECTION_NAMES[sec_id], sections[sec_id][2],
+                   n_states, expected),
+                {"section": sec_id},
+            ))
+    if sections[SEC_TRANS_LABELS][2] != sections[SEC_TRANS_DEST][2]:
+        scan.sections.append((
+            "trans_labels holds %d items but trans_dest %d"
+            % (sections[SEC_TRANS_LABELS][2], sections[SEC_TRANS_DEST][2]),
+            {},
+        ))
+    if sections[SEC_HEAD_ENTRIES][2] != sections[SEC_HEAD_SIDS][2]:
+        scan.sections.append((
+            "head_entries holds %d items but head_sids %d"
+            % (sections[SEC_HEAD_ENTRIES][2], sections[SEC_HEAD_SIDS][2]),
+            {},
+        ))
+    if scan.sections:
+        return
+
+    def view(sec_id):
+        offset, length, _count = sections[sec_id]
+        return int64_section(data, offset, length)
+
+    flag_off, flag_len, _ = sections[SEC_TBB_FLAG]
+    tbb_flag = bytes(memoryview(data)[flag_off:flag_off + flag_len])
+    if tbb_flag != b"\x00" + b"\x01" * (n_states - 1):
+        scan.sections.append((
+            "tbb_flag is not the canonical NTE-then-in-trace pattern", {},
+        ))
+    refs = view(SEC_STATE_REFS)
+    if len(refs) and min(refs) < 0:
+        scan.sections.append((
+            "state_refs contains a negative trace/TBB reference", {},
+        ))
+    offsets = view(SEC_TRANS_OFFSET)
+    n_transitions = sections[SEC_TRANS_LABELS][2]
+    if offsets[0] != 0 or offsets[n_states] != n_transitions:
+        scan.sections.append((
+            "trans_offset does not span [0, %d] (starts %d, ends %d)"
+            % (n_transitions, offsets[0], offsets[n_states]),
+            {},
+        ))
+    elif any(offsets[i] > offsets[i + 1] for i in range(n_states)):
+        scan.sections.append((
+            "trans_offset is not monotonically non-decreasing", {},
+        ))
+    else:
+        labels = view(SEC_TRANS_LABELS)
+        for sid in range(n_states):
+            low, high = offsets[sid], offsets[sid + 1]
+            if any(labels[i] >= labels[i + 1] for i in range(low, high - 1)):
+                scan.sections.append((
+                    "state %d transition labels are not strictly "
+                    "increasing" % sid,
+                    {"sid": sid},
+                ))
+                break
+    dests = view(SEC_TRANS_DEST)
+    if len(dests) and not 0 <= min(dests) <= max(dests) < n_states:
+        scan.sections.append((
+            "trans_dest targets a state outside [0, %d)" % n_states, {},
+        ))
+    head_entries = view(SEC_HEAD_ENTRIES)
+    head_sids = view(SEC_HEAD_SIDS)
+    if any(head_entries[i] >= head_entries[i + 1]
+           for i in range(len(head_entries) - 1)):
+        scan.sections.append((
+            "head entries are not strictly increasing", {},
+        ))
+    if len(head_sids) and not 0 < min(head_sids) <= max(head_sids) < n_states:
+        scan.sections.append((
+            "head_sids targets a state outside (0, %d)" % n_states, {},
+        ))
+    pool = view(SEC_LABEL_POOL)
+    if any(pool[i] >= pool[i + 1] for i in range(len(pool) - 1)):
+        scan.sections.append((
+            "label_pool is not strictly increasing", {},
+        ))
+
+
 class _SnapshotRule(Rule):
     """Shared plumbing: scan the snapshot, yield one finding family."""
 
@@ -411,7 +684,91 @@ class SnapshotRoundtrip(_SnapshotRule):
     scan_field = "roundtrip"
 
 
+class SnapshotSections(_SnapshotRule):
+    rule_id = "TEA024"
+    name = "snapshot-sections"
+    description = (
+        "A TEAB v2 section-table entry is invalid: misaligned, "
+        "overlapping, escaping the file, missing a required section, "
+        "inconsistent item counts, or a zero-copy table that is not in "
+        "canonical sorted form."
+    )
+    paper = "Section 4.2 (sorted dispatch tables)"
+    scan_field = "sections"
+
+
+class SnapshotSectionCrc(_SnapshotRule):
+    rule_id = "TEA025"
+    name = "snapshot-section-crc"
+    description = (
+        "A TEAB v2 checksum does not match its payload (section table "
+        "or an individual section); the mapped bytes were corrupted "
+        "after writing."
+    )
+    paper = "Section 5 (storing trace shape for reuse)"
+    scan_field = "crc"
+
+
+class SnapshotConvertRoundtrip(Rule):
+    rule_id = "TEA026"
+    name = "snapshot-convert-roundtrip"
+    description = (
+        "Converting the snapshot to the other format and back does not "
+        "reproduce the original bytes, or the converted image fails its "
+        "own scan; v1 and v2 must address the same content."
+    )
+    paper = "Section 5 (content-addressed snapshot reuse)"
+    family = "snapshot"
+    requires = ("snapshot", "snapshot_deep")
+
+    def check(self, subject):
+        from repro.errors import SerializationError
+        from repro.store.binary import BINARY_VERSION, snapshot_version
+        from repro.store.binary_v2 import (
+            BINARY_VERSION_V2, convert_v1_to_v2, convert_v2_to_v1,
+        )
+
+        data = subject.snapshot
+        if not scan_snapshot(data).sound():
+            return  # structural rules already own the root cause
+        version = snapshot_version(data)
+        try:
+            if version == BINARY_VERSION:
+                other = convert_v1_to_v2(data)
+                back = convert_v2_to_v1(other)
+            elif version == BINARY_VERSION_V2:
+                other = convert_v2_to_v1(data)
+                back = convert_v1_to_v2(other)
+            else:
+                return
+        except SerializationError as error:
+            yield self.diag(
+                "snapshot does not convert to the other format: %s"
+                % error,
+            )
+            return
+        if bytes(back) != bytes(data):
+            yield self.diag(
+                "v%d -> v%d -> v%d conversion does not reproduce the "
+                "original %d bytes; the snapshot is not in canonical "
+                "form" % (version, 3 - version, version, len(data)),
+                version=version,
+            )
+        converted = scan_snapshot(other)
+        if not converted.sound():
+            first = (converted.envelope + converted.structure
+                     + converted.sections + converted.crc)[0][0]
+            yield self.diag(
+                "converted v%d image fails its own scan: %s"
+                % (3 - version, first),
+                version=version,
+            )
+
+
 register(SnapshotEnvelope())
 register(SnapshotStructure())
 register(SnapshotOrder())
 register(SnapshotRoundtrip())
+register(SnapshotSections())
+register(SnapshotSectionCrc())
+register(SnapshotConvertRoundtrip())

@@ -20,6 +20,7 @@ from repro.store import (
     AutomatonStore,
     describe_snapshot,
     dump_tea_binary,
+    dump_tea_binary_v2,
     load_tea_binary,
     peek_tea_binary,
     save_tea_binary,
@@ -293,13 +294,18 @@ def test_store_is_content_addressed(tmp_path, nested_traces):
     again = store.put(nested_traces, tea=tea)
     assert again == key
     assert len(store) == 1
-    assert key == snapshot_key(dump_tea_binary(nested_traces, tea=tea))
+    # The default format is v2, so the key addresses the v2 bytes.
+    assert key == snapshot_key(dump_tea_binary_v2(nested_traces, tea=tea))
     # Sharded layout: <root>/<first two hex chars>/<key>.teab
     assert store.path_for(key).endswith("%s/%s.teab" % (key[:2], key))
     # The dedup shows in the traffic counters: two puts, one write.
     counters = store.obs.metrics.snapshot()["counters"]
     assert counters["store.puts"] == 2
     assert counters["store.bytes_written"] == store.total_bytes()
+    # A v1 put of the same automaton is distinct content.
+    key_v1 = store.put(nested_traces, tea=tea, version=1)
+    assert key_v1 == snapshot_key(dump_tea_binary(nested_traces, tea=tea))
+    assert key_v1 != key
 
 
 def test_store_distinct_snapshots_get_distinct_keys(tmp_path, nested_traces):

@@ -354,7 +354,7 @@ def test_store_gc_cli(tmp_path, capsys):
     code = main(["store", "gc", "--dir", str(store_dir)])
     assert code == 0
     output = capsys.readouterr().out
-    assert "removed 1 orphaned jit cache" in output
+    assert "removed 1 superseded/orphaned" in output
     capsys.readouterr()
     assert main(["store", "gc", "--dir", str(store_dir)]) == 0
     assert "removed 0" in capsys.readouterr().out
