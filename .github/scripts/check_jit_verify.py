@@ -7,11 +7,11 @@ end, the way an operator would hit it:
 2. ``AutomatonStore.get_jit`` — generate and cache the specialized
    replay source next to the blob;
 3. ``python -m repro.tools verify --strict`` over the cached
-   ``.jit.py`` must PASS (TEA033 static audit + TEA034 equivalence
-   against the sibling snapshot);
+   ``.jit.py`` must PASS (TEA033 static audit + the TEA07x static
+   certifier against the sibling snapshot — zero dynamic probes);
 4. tamper with a baked dispatch table (header untouched) and assert
-   the same CLI now FAILS — the on-disk cache cannot be trusted
-   silently;
+   the same CLI now FAILS with exactly the TEA070 static proof — the
+   on-disk cache cannot be trusted silently;
 5. reload through ``get_jit`` and assert the store regenerated the
    tampered source (``store.jit_codegen`` == 2) instead of executing
    it.
@@ -85,9 +85,12 @@ def main():
     print(tampered.stdout.strip())
     if tampered.returncode == 0:
         fail("verify passed a source with a tampered dispatch table")
-    if "TEA034" not in tampered.stdout:
-        fail("tampered table was not flagged by TEA034:\n%s"
-             % tampered.stdout)
+    if "TEA070" not in tampered.stdout:
+        fail("tampered table was not flagged by the TEA070 static "
+             "proof:\n%s" % tampered.stdout)
+    if "TEA034" in tampered.stdout:
+        fail("the dynamic fallback tier fired on a statically "
+             "provable divergence:\n%s" % tampered.stdout)
 
     # The store must regenerate rather than execute the tampered cache.
     _compiled, regenerated = store.get_jit(key)

@@ -1,0 +1,80 @@
+"""SARIF baseline diffing for incremental audits.
+
+A fleet audit is most useful as a *ratchet*: an existing tree may
+carry known findings, and CI should block only on new ones.
+``repro tools audit --baseline old.sarif`` loads a previous run's
+SARIF log, fingerprints every result, and reports only results absent
+from the baseline.
+
+A fingerprint deliberately excludes volatile context (rule index,
+ordering) and keeps what identifies a finding across runs: the rule
+id, the artifact URI, the logical location, and the message text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, FrozenSet, Set, Tuple
+
+
+def result_fingerprint(result: Any) -> Tuple[str, str, str, str]:
+    """Stable identity of one SARIF result across runs."""
+    uri = ""
+    logical = ""
+    locations = result.get("locations") or []
+    if locations:
+        physical = locations[0].get("physicalLocation") or {}
+        uri = (physical.get("artifactLocation") or {}).get("uri", "")
+        names = locations[0].get("logicalLocations") or []
+        if names:
+            logical = names[0].get("fullyQualifiedName", "")
+    return (
+        result.get("ruleId", ""),
+        uri,
+        logical,
+        (result.get("message") or {}).get("text", ""),
+    )
+
+
+def sarif_fingerprints(sarif: Any) -> Set[Tuple[str, str, str, str]]:
+    """Every result fingerprint in a SARIF document."""
+    fingerprints = set()
+    for run in sarif.get("runs") or []:
+        for result in run.get("results") or []:
+            fingerprints.add(result_fingerprint(result))
+    return fingerprints
+
+
+def load_baseline(path: Any) -> FrozenSet[Tuple[str, str, str, str]]:
+    """Fingerprints of a baseline SARIF file.
+
+    Raises ``OSError`` / ``ValueError`` for unreadable or non-JSON
+    input — a usage error the CLI maps to exit code 2.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError("%s is not a SARIF document" % path)
+    return frozenset(sarif_fingerprints(document))
+
+
+def diff_new_results(sarif: Any, baseline: Any) -> Tuple[Any, int, int]:
+    """Strip baseline-known results from a SARIF document in place.
+
+    ``baseline`` is a fingerprint set from :func:`load_baseline`.
+    Returns ``(sarif, new_count, suppressed_count)`` — the same
+    document with each run's ``results`` filtered to findings the
+    baseline has not seen.
+    """
+    new_count = 0
+    suppressed = 0
+    for run in sarif.get("runs") or []:
+        kept = []
+        for result in run.get("results") or []:
+            if result_fingerprint(result) in baseline:
+                suppressed += 1
+            else:
+                kept.append(result)
+                new_count += 1
+        run["results"] = kept
+    return sarif, new_count, suppressed

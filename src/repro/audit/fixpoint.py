@@ -1,0 +1,250 @@
+"""Dataflow fixpoints over automaton views (the TEA06x substrate).
+
+The TEA06x rule family certifies automata by *analysis* instead of
+replay: reachability and liveness are monotone dataflow problems over
+the transition graph, and per-state replay cost is an interval that can
+be bounded statically from the cost parameters alone.  This module is
+the framework; the rules in :mod:`repro.verify.rules_dataflow` are thin
+wrappers that turn analysis output into diagnostics.
+
+Everything here operates on
+:class:`~repro.verify.views.AutomatonView` — the uniform read-only
+adapter over ``TEA`` and ``CompiledTea`` — so one analysis covers both
+representations.  Nothing executes the subject.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import NTE_SID
+from repro.core.directory import DIRECTORY_COST_PARAM
+
+#: Directory kinds the cost envelope ranges over (a snapshot does not
+#: record which directory the replayer will use, so static bounds take
+#: the envelope across all of them).
+DIRECTORY_KINDS = tuple(sorted(DIRECTORY_COST_PARAM))
+
+#: Default B+ tree fanout (mirrors ``make_directory``).
+DEFAULT_BPTREE_ORDER = 16
+
+
+def solve_worklist(seeds, successors, n_nodes):
+    """Generic forward fixpoint: the set reachable from ``seeds``.
+
+    ``successors(node)`` yields successor node ids; ids outside
+    ``[0, n_nodes)`` are ignored (a malformed graph must not crash the
+    analysis — the shape rules report it).  Runs to a fixpoint in
+    O(nodes + edges).
+    """
+    seen = set()
+    frontier = []
+    for node in seeds:
+        if 0 <= node < n_nodes and node not in seen:
+            seen.add(node)
+            frontier.append(node)
+    while frontier:
+        node = frontier.pop()
+        for dest in successors(node):
+            if 0 <= dest < n_nodes and dest not in seen:
+                seen.add(dest)
+                frontier.append(dest)
+    return seen
+
+
+def reachable_states(view):
+    """States reachable from NTE plus the head registry (forward)."""
+    seeds = [NTE_SID]
+    seeds.extend(sid for _, sid in view.heads)
+    return solve_worklist(
+        seeds,
+        lambda sid: (dest for _, dest in view.edges[sid]),
+        view.n_states,
+    )
+
+
+def head_live_states(view):
+    """States reachable from some *head* (liveness of the trace body).
+
+    A state outside this set can never participate in an in-trace walk:
+    the directory only dispatches to head states, and in-trace stepping
+    follows transitions.  NTE is live by definition (it anchors the
+    out-of-trace regime).
+    """
+    seeds = [sid for _, sid in view.heads]
+    live = solve_worklist(
+        seeds,
+        lambda sid: (dest for _, dest in view.edges[sid]),
+        view.n_states,
+    )
+    live.add(NTE_SID)
+    return live
+
+
+def dead_states(view):
+    """Sorted state ids no replay can ever enter."""
+    reach = reachable_states(view)
+    return sorted(sid for sid in range(view.n_states) if sid not in reach)
+
+
+def dead_transitions(view):
+    """Transitions that can never fire: ``(src, label, dest)`` where
+    ``src`` is unreachable.  (A transition out of a reachable state is
+    always live — replay may present any block label next.)"""
+    reach = reachable_states(view)
+    dead = []
+    for sid in range(view.n_states):
+        if sid in reach:
+            continue
+        for label, dest in view.edges[sid]:
+            dead.append((sid, label, dest))
+    return dead
+
+
+def incoming_counts(view):
+    """``counts[sid]`` — number of in-edges from *reachable* states."""
+    reach = reachable_states(view)
+    counts = [0] * view.n_states
+    for sid in reach:
+        for _, dest in view.edges[sid]:
+            if 0 <= dest < view.n_states:
+                counts[dest] += 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Directory probe bounds
+# ----------------------------------------------------------------------
+
+
+def directory_probe_bounds(kind, n_heads, order=DEFAULT_BPTREE_ORDER):
+    """Static ``(min_units, max_units)`` for one lookup of a registered
+    entry in a directory of ``n_heads`` heads.
+
+    The bounds are *sound* (every actual lookup lands inside them) and
+    per-kind tight enough to catch a directory charging impossible
+    work:
+
+    - ``list`` — linear scan: 1 .. n;
+    - ``sorted`` — binary search: 1 .. floor(log2 n) + 1 comparisons;
+    - ``bptree`` — one node per level: 1 .. height, where the height of
+      an order-``m`` tree over n keys is bounded by splitting at
+      ceil(m/2) fanout;
+    - ``hash`` — linear probing: 1 .. capacity, where the table doubles
+      from 8 slots before load ever reaches 70 %.
+    """
+    if n_heads <= 0:
+        return (0, 0)
+    if kind == "list":
+        return (1, n_heads)
+    if kind == "sorted":
+        high = 1
+        span = n_heads
+        while span > 1:
+            span //= 2
+            high += 1
+        return (1, high)
+    if kind == "bptree":
+        fanout = max(2, (order + 1) // 2)
+        height = 1
+        keys = n_heads
+        while keys > order:
+            keys = -(-keys // fanout)
+            height += 1
+        return (1, height)
+    if kind == "hash":
+        capacity = 8
+        while n_heads > 0.7 * capacity:
+            capacity *= 2
+        return (1, capacity)
+    raise ValueError("unknown directory kind %r" % (kind,))
+
+
+# ----------------------------------------------------------------------
+# Cost-interval analysis
+# ----------------------------------------------------------------------
+
+
+class CostInterval:
+    """Closed interval ``[lo, hi]`` of cycles, in analysis order."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+
+    def scaled(self, count):
+        return CostInterval(self.lo * count, self.hi * count)
+
+    def __add__(self, other):
+        return CostInterval(self.lo + other.lo, self.hi + other.hi)
+
+    def as_dict(self):
+        return {"lo": round(self.lo, 3), "hi": round(self.hi, 3)}
+
+    def __repr__(self):
+        return "CostInterval(%r, %r)" % (self.lo, self.hi)
+
+
+def _exit_interval(params, n_heads, order=DEFAULT_BPTREE_ORDER):
+    """Cycles charged when a block *leaves* the in-trace regime and the
+    directory resolves (or misses) the next PC — enveloped over every
+    directory kind and cache configuration."""
+    probe_costs = []
+    for kind in DIRECTORY_KINDS:
+        low, high = directory_probe_bounds(kind, n_heads, order=order)
+        per_unit = getattr(params, DIRECTORY_COST_PARAM[kind])
+        probe_costs.append((low * per_unit, high * per_unit))
+    probe_lo = min(low for low, _ in probe_costs) if probe_costs else 0.0
+    probe_hi = max(high for _, high in probe_costs) if probe_costs else 0.0
+    # Cheapest resolution: a local-cache hit straight into the trace.
+    # Dearest: a cache miss, the worst directory probe, the insert, and
+    # the trace entry.  Without a local cache the cache legs are zero,
+    # so the envelope keeps 0 as the cache lower bound.
+    lo = params.CALLBACK_SLOW + min(params.CACHE_HIT + params.ENTER_TRACE,
+                                    probe_lo)
+    hi = (params.CALLBACK_SLOW + params.CACHE_MISS + probe_hi
+          + params.CACHE_INSERT + params.ENTER_TRACE)
+    return CostInterval(lo, max(lo, hi))
+
+
+def state_cost_intervals(view, params, order=DEFAULT_BPTREE_ORDER):
+    """Per-state min/max cycles charged for consuming one block while
+    the automaton sits in that state.
+
+    The interval is a sound envelope over replay configurations (any
+    directory kind, cache or not): an in-trace state's cheapest block
+    is a fast-path hit (fast callback + in-trace transition); its most
+    expensive is a side exit through the directory.  A state with no
+    outgoing transitions always exits; out-of-trace states always pay
+    the directory.  Returns ``{sid: CostInterval}``.
+    """
+    n_heads = len(view.heads)
+    exit_cost = _exit_interval(params, n_heads, order=order)
+    fast = params.CALLBACK_FAST + params.IN_TRACE_TRANSITION
+    intervals = {}
+    for sid in range(view.n_states):
+        if view.in_trace[sid] and view.edges[sid]:
+            intervals[sid] = CostInterval(min(fast, exit_cost.lo),
+                                          max(fast, exit_cost.hi))
+        else:
+            intervals[sid] = exit_cost
+    return intervals
+
+
+def profile_cost_bounds(view, params, state_counts,
+                        order=DEFAULT_BPTREE_ORDER):
+    """Certified total-cost interval for a recorded profile.
+
+    ``state_counts`` maps sid -> executed block count; the result is
+    the sum of each state's interval scaled by its count — the tightest
+    static statement the cost model supports about what that profile's
+    replay could have cost.
+    """
+    intervals = state_cost_intervals(view, params, order=order)
+    total = CostInterval(0.0, 0.0)
+    for sid, count in state_counts.items():
+        interval = intervals.get(sid)
+        if interval is None or count <= 0:
+            continue
+        total = total + interval.scaled(count)
+    return total

@@ -366,19 +366,23 @@ class TeaService:
                 "store %s holds no snapshots; build one with "
                 "'python -m repro.service build'" % self.store.root
             )
-        self.preload()
-        if not self.entries:
-            raise ServiceSetupError(
-                "all %d snapshot(s) in store %s failed verification"
-                % (len(self.invalid), self.store.root)
-            )
         # Loop-bound primitives are created here, inside the running
         # loop, so the service object itself can be built anywhere.
+        # The pool exists before the preload so the store walk (file
+        # I/O, mmap, verify-on-load) runs off the event loop — the
+        # loop stays responsive while a large fleet loads (TEA080).
         self._stopped = asyncio.Event()
         self._replay_memo_lock = asyncio.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="tea-replay"
         )
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(self._pool, self.preload)
+        if not self.entries:
+            raise ServiceSetupError(
+                "all %d snapshot(s) in store %s failed verification"
+                % (len(self.invalid), self.store.root)
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host,
             port=self.config.port,
@@ -472,10 +476,16 @@ class TeaService:
             self._finalize(entry)
 
     def _load_new_entries(self, known):
-        """Worker-pool body of ``reload``: load unseen store keys."""
+        """Worker-pool body of ``reload``: load unseen store keys.
+
+        Also returns the full set of keys currently present in the
+        store — the retire scan needs it, and computing it here keeps
+        the store's directory walk off the event loop (TEA080).
+        """
         added = []
         invalid = []
-        for key in self.store.keys():
+        present = set(self.store.keys())
+        for key in sorted(present):
             if key in known:
                 continue
             try:
@@ -487,7 +497,7 @@ class TeaService:
                 invalid.append((key, {"error": str(error), "rules": []}))
             else:
                 added.append((key, entry))
-        return added, invalid
+        return added, invalid, present
 
     async def _rpc_reload(self, params):
         """Hot-swap: pick up store changes without dropping a request.
@@ -504,7 +514,7 @@ class TeaService:
         """
         loop = asyncio.get_event_loop()
         known = set(self.entries) | set(self.invalid)
-        added, invalid = await loop.run_in_executor(
+        added, invalid, present = await loop.run_in_executor(
             self._pool, self._load_new_entries, known
         )
         for _key, _entry in added:
@@ -523,7 +533,6 @@ class TeaService:
             if isinstance(names, str):
                 names = (names,)
             superseded.update(name for name in names or () if name != key)
-        present = set(self.store.keys())
         retired = sorted(
             key for key in self.entries
             if key in superseded or key not in present

@@ -43,6 +43,8 @@ encoded so occasional backwards jumps stay cheap.  Sections, in order:
    renumbering-safe keying the JSON format uses.
 """
 
+from __future__ import annotations
+
 import json
 import zlib
 

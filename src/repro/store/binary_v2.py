@@ -57,6 +57,8 @@ All multi-byte integers are little-endian regardless of host byte
 order; big-endian hosts fall back to a byteswapping ``array`` copy.
 """
 
+from __future__ import annotations
+
 import json
 import struct
 import sys

@@ -21,8 +21,11 @@ replays still hold the compiled automaton — exactly the "retire the
 old mapping when in-flight replays drain" behavior hot-reload needs.
 """
 
+from __future__ import annotations
+
 import mmap
 import os
+import threading
 
 from repro.errors import SerializationError
 from repro.store.binary import snapshot_version
@@ -34,7 +37,7 @@ class SnapshotMapping:
 
     __slots__ = ("path", "_mmap", "_compiled", "closed")
 
-    def __init__(self, path):
+    def __init__(self, path: object) -> None:
         self.path = str(path)
         try:
             with open(self.path, "rb") as handle:
@@ -54,7 +57,7 @@ class SnapshotMapping:
         return self._mmap
 
     @property
-    def size(self):
+    def size(self) -> int:
         return len(self._mmap)
 
     def compiled(self):
@@ -68,7 +71,7 @@ class SnapshotMapping:
             self._compiled = compile_tea_binary_v2(self._mmap, verify=False)
         return self._compiled
 
-    def close(self):
+    def close(self) -> bool:
         """Release this mapping's own references; returns True when the
         underlying ``mmap`` actually closed.
 
@@ -84,7 +87,7 @@ class SnapshotMapping:
             return False
         return True
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<SnapshotMapping %s (%d bytes%s)>" % (
             self.path, self.size, ", closed" if self.closed else "",
         )
@@ -110,7 +113,14 @@ def open_snapshot_mapping(path):
 
 
 #: Process-local mapping cache: (realpath, mtime_ns, size) -> mapping.
+#: Guarded by ``_PROCESS_LOCK`` — service worker threads and the event
+#: loop's executor all call :func:`cached_mapping` concurrently, and
+#: the "open + gate exactly once" contract needs the whole check-open-
+#: gate-insert sequence to be atomic (TEA082).  ``_PROCESS_LOCK`` is
+#: the outermost lock in the documented acquisition order
+#: (``_PROCESS_LOCK`` < ``_jit_lock`` < ``_replay_memo_lock``).
 _PROCESS_CACHE = {}
+_PROCESS_LOCK = threading.Lock()
 
 
 def cached_mapping(path, gate=None):
@@ -135,21 +145,23 @@ def cached_mapping(path, gate=None):
             "cannot stat %s: %s" % (path, error)
         ) from None
     cache_key = (real, stat.st_mtime_ns, stat.st_size)
-    mapping = _PROCESS_CACHE.get(cache_key)
-    if mapping is None:
-        mapping = open_snapshot_mapping(real)
+    with _PROCESS_LOCK:
+        mapping = _PROCESS_CACHE.get(cache_key)
         if mapping is None:
-            raise SerializationError(
-                "%s is not a TEAB v2 snapshot; only v2 has a zero-copy "
-                "layout (run 'repro tools store migrate')" % path
-            )
-        if gate is not None:
-            try:
-                gate(mapping)
-            except BaseException:
-                mapping.close()
-                raise
-        _PROCESS_CACHE[cache_key] = mapping
+            mapping = open_snapshot_mapping(real)
+            if mapping is None:
+                raise SerializationError(
+                    "%s is not a TEAB v2 snapshot; only v2 has a "
+                    "zero-copy layout (run 'repro tools store migrate')"
+                    % path
+                )
+            if gate is not None:
+                try:
+                    gate(mapping)
+                except BaseException:
+                    mapping.close()
+                    raise
+            _PROCESS_CACHE[cache_key] = mapping
     return mapping
 
 
@@ -162,8 +174,9 @@ def cached_compiled(path):
     return cached_mapping(path).compiled()
 
 
-def clear_mapping_cache():
+def clear_mapping_cache() -> None:
     """Close and drop every cached mapping (tests; post-fork hygiene)."""
-    for mapping in _PROCESS_CACHE.values():
-        mapping.close()
-    _PROCESS_CACHE.clear()
+    with _PROCESS_LOCK:
+        for mapping in _PROCESS_CACHE.values():
+            mapping.close()
+        _PROCESS_CACHE.clear()

@@ -20,6 +20,8 @@ store at startup and serves them by key (or by the ``label`` /
 ``benchmark`` recorded in the snapshot meta) to concurrent clients.
 """
 
+from __future__ import annotations
+
 import hashlib
 import os
 

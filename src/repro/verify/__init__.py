@@ -23,6 +23,7 @@ from repro.verify.api import (
     verify_jit_source,
     verify_minimization,
     verify_path,
+    verify_python_source,
     verify_snapshot_bytes,
     verify_tea,
     verify_trace_set,
@@ -34,16 +35,24 @@ from repro.verify.diagnostics import (
     WARNING,
     Diagnostic,
     Report,
+    report_from_json,
     reports_to_sarif,
 )
-from repro.verify.engine import Rule, RuleEngine, Subject, all_rules, rule_by_id
+from repro.verify.engine import (
+    Rule,
+    RuleEngine,
+    Subject,
+    all_rules,
+    catalog_version,
+    rule_by_id,
+)
 
 __all__ = [
     "Diagnostic", "Report", "Rule", "RuleEngine", "Subject",
     "VerificationError", "ERROR", "WARNING", "INFO", "SEVERITIES",
-    "all_rules", "default_engine", "program_for_meta",
-    "reports_to_sarif", "rule_by_id", "verify_compiled",
-    "verify_diff_report", "verify_jit_source", "verify_minimization",
-    "verify_path", "verify_snapshot_bytes", "verify_tea",
-    "verify_trace_set",
+    "all_rules", "catalog_version", "default_engine", "program_for_meta",
+    "report_from_json", "reports_to_sarif", "rule_by_id",
+    "verify_compiled", "verify_diff_report", "verify_jit_source",
+    "verify_minimization", "verify_path", "verify_python_source",
+    "verify_snapshot_bytes", "verify_tea", "verify_trace_set",
 ]

@@ -13,6 +13,8 @@ these helpers are called from ``traces``, ``core``, ``store`` and
 ``service``, and must never create an import cycle.
 """
 
+from __future__ import annotations
+
 from repro.verify.engine import RuleEngine, Subject, all_rules
 
 
@@ -117,7 +119,7 @@ def verify_snapshot_bytes(data, program=None, source="<snapshot>",
                 from repro.store.binary import load_tea_binary
 
                 try:
-                    trace_set, tea, _profile = load_tea_binary(
+                    trace_set, tea, profile = load_tea_binary(
                         data, BlockIndex(program)
                     )
                 except SerializationError:
@@ -126,6 +128,19 @@ def verify_snapshot_bytes(data, program=None, source="<snapshot>",
                     subject.trace_set = trace_set
                     subject.tea = tea
                     subject.program = program
+                    subject.profile = profile
+    return _engine(engine, obs).verify(subject)
+
+
+def verify_python_source(source, source_name="<python>", engine=None,
+                         obs=None):
+    """Run the concurrency lint family (TEA080-TEA082) over module text.
+
+    ``source`` is Python source; ``source_name`` the display path.  The
+    audit scheduler calls this for every file in the service stack
+    (``repro.service``, ``repro.cluster``, ``repro.store.mapping``).
+    """
+    subject = Subject(source=source_name, python_source=source)
     return _engine(engine, obs).verify(subject)
 
 
@@ -175,7 +190,8 @@ def _verify_jit_path(path, data, engine, obs, deep):
 
 def verify_path(path, program=None, engine=None, obs=None, deep=True):
     """Verify a TEA artifact on disk (TEAB snapshot, cached JIT source,
-    or JSON document).
+    Python module, or JSON document).  Plain ``.py`` files (that are
+    not cached JIT sources) run the concurrency lint family.
 
     TEAB files may carry a benchmark name in their meta; when they do
     and no ``program`` is passed, the program image is rebuilt from it
@@ -203,6 +219,12 @@ def verify_path(path, program=None, engine=None, obs=None, deep=True):
 
     if str(path).endswith(".jit.py") or data[:8] == b"# TEAJIT":
         return _verify_jit_path(path, data, engine, obs, deep)
+
+    if str(path).endswith(".py"):
+        return verify_python_source(
+            data.decode("utf-8", errors="replace"),
+            source_name=str(path), engine=engine, obs=obs,
+        )
 
     if data[:4] == b"TEAB":
         if program is None and deep:

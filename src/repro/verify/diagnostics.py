@@ -15,6 +15,8 @@ except the error types, so every layer (the trace model, the compiled
 automaton, the store) can produce diagnostics without import cycles.
 """
 
+from __future__ import annotations
+
 from repro.errors import VerificationError
 
 #: Severity levels, ordered most to least severe.
@@ -29,6 +31,10 @@ _SARIF_LEVELS = {ERROR: "error", WARNING: "warning", INFO: "note"}
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Documentation base for per-rule ``helpUri`` anchors.
+DOC_BASE_URI = ("https://example.invalid/repro/docs/"
+                "static_verification.md")
 
 
 class Diagnostic:
@@ -170,21 +176,50 @@ class Report:
         )
 
 
+def report_from_json(document):
+    """Rebuild a :class:`Report` from its :meth:`Report.to_json` shape.
+
+    The audit result cache stores reports as JSON; this inverts the
+    encoding (``ok``/count fields are derived, so they round-trip for
+    free).
+    """
+    diagnostics = [
+        Diagnostic(
+            entry["rule"], entry["severity"], entry["message"],
+            location=entry.get("location"), data=entry.get("data"),
+        )
+        for entry in document.get("diagnostics", ())
+    ]
+    return Report(target=document.get("target", "<memory>"),
+                  diagnostics=diagnostics,
+                  rules_run=document.get("rules_run"))
+
+
 def reports_to_sarif(reports, catalog, tool_version="0"):
     """Render reports as one SARIF 2.1.0 log (one run, shared driver).
 
     ``catalog`` is an iterable of rule objects (anything with
     ``rule_id``, ``severity``, ``description``); it becomes the
-    driver's ``rules`` array so CI viewers can show rule help.
+    driver's ``rules`` array so CI viewers can show rule help.  Each
+    rule entry carries a ``helpUri`` anchored into the rule-catalog
+    docs (``help_uri`` on the rule object overrides it), and the index
+    is deduplicated by rule id — merging catalogs from several engine
+    runs over multiple subjects cannot produce duplicate entries.
     """
     rules = []
     rule_index = {}
     for rule in catalog:
+        if rule.rule_id in rule_index:
+            continue
         rule_index[rule.rule_id] = len(rules)
+        help_uri = getattr(rule, "help_uri", None) or (
+            "%s#%s" % (DOC_BASE_URI, rule.rule_id.lower())
+        )
         rules.append({
             "id": rule.rule_id,
             "name": getattr(rule, "name", rule.rule_id),
             "shortDescription": {"text": rule.description},
+            "helpUri": help_uri,
             "defaultConfiguration": {
                 "level": _SARIF_LEVELS.get(rule.severity, "warning"),
             },
@@ -217,9 +252,7 @@ def reports_to_sarif(reports, catalog, tool_version="0"):
             "tool": {
                 "driver": {
                     "name": "repro-verify",
-                    "informationUri":
-                        "https://example.invalid/repro/docs/"
-                        "static_verification.md",
+                    "informationUri": DOC_BASE_URI,
                     "version": str(tool_version),
                     "rules": rules,
                 },

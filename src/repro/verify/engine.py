@@ -19,10 +19,18 @@ are duck-typed), so every layer can depend on the engine without
 cycles.
 """
 
+from __future__ import annotations
+
+import hashlib
+
 from repro.verify.diagnostics import ERROR, Diagnostic, Report
 
 #: The global rule catalog: rule_id -> Rule instance.
 _CATALOG = {}
+
+#: Bumped by hand when rule *semantics* change without any catalog
+#: text changing — forces audit-cache invalidation either way.
+CATALOG_EPOCH = 1
 
 
 def register(rule):
@@ -52,11 +60,31 @@ def _load_builtin_rules():
         rules_automaton,
         rules_cfg,
         rules_compiled,
+        rules_concurrency,
+        rules_dataflow,
         rules_jit,
+        rules_jit_static,
         rules_minimize,
         rules_snapshot,
         rules_traces,
     )
+
+
+def catalog_version() -> str:
+    """Content version of the rule catalog: ``<epoch>-<12 hex>``.
+
+    Hashes every registered rule's id, name, severity and description
+    plus :data:`CATALOG_EPOCH`, so adding, removing or rewording a
+    rule (or bumping the epoch) changes the version — the audit result
+    cache keys on it and invalidates itself automatically.
+    """
+    payload = "|".join(
+        "%s:%s:%s:%s" % (rule.rule_id, rule.name, rule.severity,
+                         rule.description)
+        for rule in all_rules()
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+    return "%d-%s" % (CATALOG_EPOCH, digest)
 
 
 class Rule:
@@ -125,7 +153,11 @@ class Subject:
       :class:`~repro.minimize.MinimizationResult` (original automaton,
       quotient and state map; enables TEA051-TEA053);
     - ``tea_diff`` — a diff report dict in the
-      :meth:`~repro.compare.TeaDiff.to_json` shape (enables TEA054).
+      :meth:`~repro.compare.TeaDiff.to_json` shape (enables TEA054);
+    - ``profile`` — a :class:`~repro.core.profile.TeaProfile` recorded
+      alongside the automaton (enables TEA061's profile cross-check);
+    - ``python_source`` — Python module text for the concurrency lint
+      family (TEA080-TEA082).
 
     ``views`` lazily materialises one uniform
     :class:`~repro.verify.views.AutomatonView` per available automaton
@@ -135,12 +167,12 @@ class Subject:
 
     __slots__ = ("source", "tea", "trace_set", "program", "compiled",
                  "snapshot", "snapshot_deep", "jit_source", "minimization",
-                 "tea_diff", "_views")
+                 "tea_diff", "profile", "python_source", "_views")
 
     def __init__(self, source="<memory>", tea=None, trace_set=None,
                  program=None, compiled=None, snapshot=None,
                  snapshot_deep=None, jit_source=None, minimization=None,
-                 tea_diff=None):
+                 tea_diff=None, profile=None, python_source=None):
         self.source = str(source)
         self.tea = tea
         self.trace_set = trace_set
@@ -151,6 +183,8 @@ class Subject:
         self.jit_source = jit_source
         self.minimization = minimization
         self.tea_diff = tea_diff
+        self.profile = profile
+        self.python_source = python_source
         self._views = None
 
     @property
@@ -171,7 +205,8 @@ class Subject:
         facets = [
             facet for facet in
             ("tea", "trace_set", "program", "compiled", "snapshot",
-             "snapshot_deep", "jit_source", "minimization", "tea_diff")
+             "snapshot_deep", "jit_source", "minimization", "tea_diff",
+             "profile", "python_source")
             if getattr(self, facet) is not None
         ]
         return "<Subject %s: %s>" % (self.source, "+".join(facets) or "empty")

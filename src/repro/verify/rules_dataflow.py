@@ -1,0 +1,227 @@
+"""Dataflow certification rules (TEA060-TEA062).
+
+These rules upgrade the shape checks of the automaton family to real
+abstract interpretation, built on :mod:`repro.audit.fixpoint`:
+
+- TEA060 runs the forward reachability fixpoint and flags *dead
+  transitions* — edges whose source state no replay can ever enter —
+  plus head-dead states (unreachable from every head);
+- TEA061 derives per-state min/max replay cost intervals statically
+  from the cost parameters and cross-checks them against the recorded
+  profile section: profiled states must be reachable, profiled
+  non-head trace states must have a live in-edge, and the profile's
+  certified total-cost interval is attached as machine-readable data;
+- TEA062 certifies the head/directory contract: building each
+  directory kind over the head registry must resolve every entry back
+  to its registered head within the static probe-unit bounds.
+
+All analysis code lives in ``repro.audit`` (imported at function
+level); this module only turns analysis results into diagnostics.
+"""
+
+from repro.verify.diagnostics import WARNING
+from repro.verify.engine import Rule, register
+
+
+class DataflowReachability(Rule):
+    rule_id = "TEA060"
+    name = "dataflow-dead-transitions"
+    family = "dataflow"
+    severity = WARNING
+    description = (
+        "The reachability fixpoint found dead transitions (their "
+        "source state is unreachable from NTE and every head) or "
+        "head-dead states no in-trace walk can visit."
+    )
+    paper = "Section 3 (the automaton mirrors live trace structure)"
+    requires = ("views",)
+
+    def check(self, subject):
+        from repro.audit.fixpoint import (
+            dead_states,
+            dead_transitions,
+            head_live_states,
+        )
+
+        for view in subject.views:
+            dead = set(dead_states(view))
+            transitions = dead_transitions(view)
+            for sid, label, dest in transitions:
+                yield self.diag(
+                    "%s view: transition %s --%#x--> %s can never "
+                    "fire (source state is unreachable)"
+                    % (view.kind, view.state_label(sid), label,
+                       view.state_label(dest)),
+                    location=view.state_label(sid),
+                    view=view.kind, label=label,
+                )
+            live = head_live_states(view)
+            for sid in range(view.n_states):
+                if sid in dead or sid in live:
+                    continue
+                if not view.in_trace[sid]:
+                    continue
+                yield self.diag(
+                    "%s view: trace state %s is reachable but "
+                    "head-dead — no head's in-trace walk can enter it"
+                    % (view.kind, view.state_label(sid)),
+                    location=view.state_label(sid),
+                    view=view.kind,
+                )
+
+
+class DataflowCostProfile(Rule):
+    rule_id = "TEA061"
+    name = "dataflow-cost-profile"
+    family = "dataflow"
+    description = (
+        "Static cost-interval analysis contradicts the recorded "
+        "profile: a profiled state is unreachable, a profiled trace "
+        "state has no live in-edge, or the per-state intervals are "
+        "incoherent."
+    )
+    paper = "Section 5 (cost model), Section 2 (accurate profiles)"
+    requires = ("views",)
+
+    def check(self, subject):
+        from repro.audit.fixpoint import (
+            incoming_counts,
+            profile_cost_bounds,
+            reachable_states,
+            state_cost_intervals,
+        )
+        from repro.core.automaton import NTE_SID
+        from repro.dbt.cost import CostParameters
+
+        params = CostParameters()
+        view = subject.views[0]
+        intervals = state_cost_intervals(view, params)
+        for sid, interval in intervals.items():
+            if not (0 < interval.lo <= interval.hi):
+                yield self.diag(
+                    "state %s has an incoherent static cost interval "
+                    "[%r, %r]" % (view.state_label(sid), interval.lo,
+                                  interval.hi),
+                    location=view.state_label(sid),
+                )
+
+        profile = getattr(subject, "profile", None)
+        if profile is None:
+            return
+        reach = reachable_states(view)
+        incoming = incoming_counts(view)
+        head_sids = {sid for _, sid in view.heads}
+        counts = getattr(profile, "state_counts", None) or {}
+        for sid, count in sorted(counts.items()):
+            if not isinstance(sid, int) or not (0 <= sid < view.n_states):
+                yield self.diag(
+                    "profile counts %d block(s) for unknown state id %r"
+                    % (count, sid),
+                )
+                continue
+            if count <= 0:
+                continue
+            if sid not in reach:
+                yield self.diag(
+                    "profile counts %d block(s) in %s, but the "
+                    "reachability fixpoint proves no replay can enter "
+                    "it" % (count, view.state_label(sid)),
+                    location=view.state_label(sid),
+                )
+            elif (view.in_trace[sid] and sid != NTE_SID
+                    and sid not in head_sids and incoming[sid] == 0):
+                yield self.diag(
+                    "profile counts %d block(s) in non-head trace "
+                    "state %s, which has no live incoming transition "
+                    "and is not directory-dispatched"
+                    % (count, view.state_label(sid)),
+                    location=view.state_label(sid),
+                )
+        edges = getattr(profile, "edge_counts", None) or {}
+        for (src, dst), count in sorted(edges.items()):
+            for sid in (src, dst):
+                if not (isinstance(sid, int)
+                        and 0 <= sid < view.n_states):
+                    yield self.diag(
+                        "profile edge (%r, %r) x%d names an unknown "
+                        "state id" % (src, dst, count),
+                    )
+                    break
+        total = profile_cost_bounds(view, params, counts)
+        yield self.diag(
+            "profile certified: %d profiled state(s); any replay of "
+            "this profile costs between %.0f and %.0f cycles under "
+            "the default cost parameters"
+            % (len(counts), total.lo, total.hi),
+            severity="info",
+            bounds=total.as_dict(),
+        )
+
+
+class DirectoryInvariants(Rule):
+    rule_id = "TEA062"
+    name = "dataflow-directory-invariants"
+    family = "dataflow"
+    description = (
+        "The head registry breaks the directory contract: an entry "
+        "fails to resolve to its registered head (e.g. duplicate "
+        "entry PCs) or a lookup exceeds the static probe-unit bound "
+        "for some directory kind."
+    )
+    paper = "Section 4 (trace directory), Table 3 (probe costs)"
+    requires = ("views",)
+
+    def check(self, subject):
+        from repro.audit.fixpoint import (
+            DIRECTORY_KINDS,
+            directory_probe_bounds,
+        )
+        from repro.core.directory import make_directory
+
+        for view in subject.views:
+            heads = [
+                (entry, sid) for entry, sid in view.heads
+                if 0 <= sid < view.n_states
+            ]
+            if not heads:
+                continue
+            n_heads = len({entry for entry, _ in heads})
+            for kind in DIRECTORY_KINDS:
+                low, high = directory_probe_bounds(kind, n_heads)
+                directory = make_directory(kind)
+                for entry, sid in heads:
+                    directory.insert(entry, sid)
+                bad_kind = False
+                for entry, sid in heads:
+                    found, units = directory.lookup(entry)
+                    if found != sid:
+                        yield self.diag(
+                            "%s view: %s directory resolves head entry "
+                            "%#x to %r, not its registered state %s "
+                            "(duplicate entry PC?)"
+                            % (view.kind, kind, entry, found,
+                               view.state_label(sid)),
+                            location="%#x" % entry,
+                            kind=kind,
+                        )
+                        bad_kind = True
+                        break
+                    if not (low <= units <= high):
+                        yield self.diag(
+                            "%s view: %s directory lookup of %#x took "
+                            "%d unit(s), outside the static bound "
+                            "[%d, %d] for %d head(s)"
+                            % (view.kind, kind, entry, units, low,
+                               high, n_heads),
+                            location="%#x" % entry,
+                            kind=kind,
+                        )
+                        bad_kind = True
+                        break
+                if bad_kind:
+                    continue
+
+
+register(DataflowReachability())
+register(DataflowCostProfile())
+register(DirectoryInvariants())

@@ -1,0 +1,351 @@
+"""Static JIT certification rules (TEA070-TEA072).
+
+TEA034's dynamic differential probe proves a cached replay source
+faithful by *running* it.  These rules prove the same properties by
+analysis, so a clean artifact is certified with zero executions:
+
+- TEA070 proves the baked jump tables: the header digest must name the
+  companion automaton, and every literal table (``SHIFT`` .. ``
+  DEOPT_SIDS``) must equal a fresh ``specialize_tables`` run over it;
+- TEA071 proves the baked cost constants: an AST walk extracts every
+  ``charge(category, counter * constant)`` multiplier from the cached
+  source and from a faithful regeneration, and the two sets must agree
+  exactly (only provable when the header's params token matches the
+  live cost parameters);
+- TEA072 is the capstone: the generator is deterministic, so the
+  cached module's AST — with jump tables and cost constants blanked
+  out, since TEA070/TEA071 own those — must equal a regeneration's
+  AST node for node.  This proves the control flow wholesale: deopt
+  guards, the multi-label fallback, cache stubs, the flush epilogue.
+
+The three rules partition the defect space so one hand-tampered
+artifact trips exactly one rule.  When the static proof is
+*inapplicable* (the header's params token differs from the live
+parameters, or the config token cannot be reconstructed), TEA034's
+probe remains the fallback tier — see :mod:`repro.verify.rules_jit`.
+Nothing in this module executes the subject.
+"""
+
+import ast
+
+from repro.verify.engine import Rule, register
+from repro.verify.rules_jit import _audit_source
+
+#: The literal tables TEA070 proves (mirrors the codegen's output).
+_TABLE_NAMES = ("SHIFT", "N_STATES", "TBB", "EXP", "NXT", "MULTI",
+                "DEOPT_SIDS")
+
+
+def _clean_header(source):
+    """The parsed header when the TEA033 audit is clean, else ``None``.
+
+    A source that failed the static audit proves nothing — TEA033
+    already reports the defects, so the certifier family stays silent.
+    """
+    from repro.core.jit import parse_jit_header
+
+    if any(True for _ in _audit_source(source)):
+        return None
+    return parse_jit_header(source)
+
+
+def _reference_tables(compiled, header):
+    """Fresh specialization tables, or ``(None, error_message)``."""
+    from repro.core.jit import specialize_tables
+
+    try:
+        shift, exp, nxt, multi, deopt = specialize_tables(
+            compiled, threshold=header["threshold"]
+        )
+    except ValueError as error:
+        return None, str(error)
+    return {
+        "SHIFT": shift,
+        "N_STATES": compiled.n_states,
+        "TBB": bytes(compiled.tbb_flag),
+        "EXP": exp,
+        "NXT": nxt,
+        "MULTI": multi,
+        "DEOPT_SIDS": deopt,
+    }, None
+
+
+def _mismatched_tables(source, compiled, header):
+    """Names of baked tables that disagree with a fresh specialization
+    (``None`` when the automaton does not specialize at all)."""
+    from repro.core.jit import extract_jit_tables, structural_digest
+
+    if header["digest"] != structural_digest(compiled):
+        return None
+    reference, error = _reference_tables(compiled, header)
+    if reference is None:
+        return None
+    tables = extract_jit_tables(source)
+    return [name for name in _TABLE_NAMES
+            if tables.get(name) != reference[name]]
+
+
+def inapplicability_reason(source, compiled, header):
+    """Why the full static proof cannot run, or ``None`` when it can.
+
+    The proof regenerates the module, which needs the header's config
+    token to round-trip and its params token to name the *live* cost
+    parameters (tokens are one-way hashes — foreign parameters cannot
+    be reconstructed).  When this returns a reason, TEA034's dynamic
+    probe is the only remaining equivalence evidence.
+    """
+    from repro.core.jit import config_from_token, params_token
+    from repro.dbt.cost import CostModel
+
+    try:
+        config_from_token(header["config"])
+    except ValueError as error:
+        return "unreplayable config token: %s" % error
+    if header["params"] != params_token(CostModel().params):
+        return ("params token %s does not name the live cost "
+                "parameters" % header["params"])
+    return None
+
+
+def regenerated_source(compiled, header):
+    """A faithful regeneration of the cached module, or ``None``.
+
+    Only callable when :func:`inapplicability_reason` returned
+    ``None``; a non-specializing automaton still returns ``None`` (and
+    TEA070 reports why).
+    """
+    from repro.core.jit import config_from_token, generate_replay_source
+    from repro.dbt.cost import CostModel
+
+    config = config_from_token(header["config"])
+    try:
+        return generate_replay_source(
+            compiled, config=config, params=CostModel().params,
+            threshold=header["threshold"],
+        )
+    except ValueError:
+        return None
+
+
+def _charge_constants(source):
+    """Extract ``(category, counter, constant)`` triples from every
+    ``charge('<category>', <counter> * <constant> + ...)`` call.
+
+    This is the abstract-interpretation core of TEA071: the flush
+    epilogue charges each replay counter with a baked multiplier; the
+    walk decomposes each charge argument into products over sum chains
+    and records the multiplier per (category, counter) pair.  Terms
+    that are not ``name * constant`` products are recorded with a
+    ``None`` constant so structural surprises still surface as a
+    mismatch rather than vanishing.
+    """
+    triples = []
+    module = ast.parse(source)
+    for node in ast.walk(module):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "charge"
+                and len(node.args) == 2
+                and isinstance(node.args[0], ast.Constant)):
+            continue
+        category = node.args[0].value
+        for term in _sum_terms(node.args[1]):
+            triples.append((category,) + _product(term))
+    return sorted(triples, key=lambda item: (str(item[0]), str(item[1])))
+
+
+def _sum_terms(node):
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _sum_terms(node.left) + _sum_terms(node.right)
+    return [node]
+
+
+def _product(node):
+    """``(counter_name, float_constant)`` for a ``name * const`` term."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        name, const = None, None
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Name):
+                name = side.id
+            elif isinstance(side, ast.Constant):
+                const = side.value
+        if name is not None and const is not None:
+            return (name, float(const))
+    if isinstance(node, ast.Name):
+        return (node.id, 1.0)
+    return (ast.dump(node), None)
+
+
+def _normalized_dump(source):
+    """The module AST with TEA070/TEA071 territory blanked out.
+
+    Top-level literal assignment values (the jump tables) become
+    ``None`` placeholders and every ``charge()`` cost argument is
+    dropped, so TEA072 compares pure structure: function layout,
+    guards, loops, returns.  ``ast.dump`` without attributes ignores
+    line/column noise.
+    """
+    module = ast.parse(source)
+    for statement in module.body:
+        if isinstance(statement, ast.Assign):
+            statement.value = ast.Constant(value=None)
+    for node in ast.walk(module):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "charge"
+                and len(node.args) == 2):
+            node.args[1] = ast.Constant(value=None)
+    return ast.dump(module)
+
+
+class JitStaticTableProof(Rule):
+    rule_id = "TEA070"
+    name = "jit-static-table-proof"
+    family = "jit-static"
+    description = (
+        "The cached source's baked jump tables are not provably "
+        "equivalent to the companion automaton: the header digest "
+        "names a different automaton, the automaton does not "
+        "specialize, or a literal table diverges from a fresh "
+        "specialization."
+    )
+    paper = "Section 4.2 (the lowering preserves the automaton)"
+    requires = ("jit_source", "compiled")
+
+    def check(self, subject):
+        from repro.core.jit import structural_digest
+
+        source = subject.jit_source
+        compiled = subject.compiled
+        header = _clean_header(source)
+        if header is None:
+            return
+        expected_digest = structural_digest(compiled)
+        if header["digest"] != expected_digest:
+            yield self.diag(
+                "source was generated for automaton %s... but the "
+                "companion snapshot lowers to %s..."
+                % (header["digest"][:12], expected_digest[:12]),
+                location="digest",
+            )
+            return
+        reference, error = _reference_tables(compiled, header)
+        if reference is None:
+            yield self.diag(
+                "companion automaton does not specialize: %s" % error,
+            )
+            return
+        from repro.core.jit import extract_jit_tables
+
+        tables = extract_jit_tables(source)
+        for name in _TABLE_NAMES:
+            if tables.get(name) != reference[name]:
+                yield self.diag(
+                    "baked table %s is not equivalent to a fresh "
+                    "specialization of the companion automaton" % name,
+                    location=name,
+                )
+
+
+class JitStaticCostProof(Rule):
+    rule_id = "TEA071"
+    name = "jit-static-cost-proof"
+    family = "jit-static"
+    description = (
+        "The cost constants baked into the cached source's charge() "
+        "epilogue disagree with the generator's output for the live "
+        "cost parameters (provable only when the header's params "
+        "token names them)."
+    )
+    paper = "Section 5 (cost model constants)"
+    requires = ("jit_source", "compiled")
+
+    def check(self, subject):
+        source = subject.jit_source
+        compiled = subject.compiled
+        header = _clean_header(source)
+        if header is None:
+            return
+        if inapplicability_reason(source, compiled, header) is not None:
+            return
+        if _mismatched_tables(source, compiled, header) != []:
+            return  # TEA070 territory (wrong automaton entirely)
+        expected = regenerated_source(compiled, header)
+        if expected is None:
+            return
+        baked = _charge_constants(source)
+        reference = _charge_constants(expected)
+        if baked == reference:
+            return
+        reference_map = {key[:2]: key[2] for key in reference}
+        for category, counter, constant in baked:
+            want = reference_map.get((category, counter))
+            if constant != want:
+                yield self.diag(
+                    "charge('%s', %s * %r) does not match the live "
+                    "cost parameters (expected multiplier %r)"
+                    % (category, counter, constant, want),
+                    location="%s/%s" % (category, counter),
+                )
+        baked_keys = {key[:2] for key in baked}
+        for category, counter, constant in reference:
+            if (category, counter) not in baked_keys:
+                yield self.diag(
+                    "flush epilogue is missing the charge('%s', "
+                    "%s * %r) the generator emits for this config"
+                    % (category, counter, constant),
+                    location="%s/%s" % (category, counter),
+                )
+
+
+class JitStaticCertification(Rule):
+    rule_id = "TEA072"
+    name = "jit-static-certification"
+    family = "jit-static"
+    description = (
+        "The cached source's structure (deopt guards, multi-label "
+        "fallback, cache stubs, dispatch loop) diverges from a "
+        "faithful regeneration for its header — the module is not the "
+        "generator's output for this automaton and config."
+    )
+    paper = "Section 4.2 (specialized dispatch is derived, not hand-written)"
+    requires = ("jit_source", "compiled")
+
+    def check(self, subject):
+        source = subject.jit_source
+        compiled = subject.compiled
+        header = _clean_header(source)
+        if header is None:
+            return
+        if inapplicability_reason(source, compiled, header) is not None:
+            return
+        mismatched = _mismatched_tables(source, compiled, header)
+        if mismatched is None or mismatched:
+            return  # TEA070 already refutes the artifact
+        expected = regenerated_source(compiled, header)
+        if expected is None:
+            return
+        if _charge_constants(source) != _charge_constants(expected):
+            return  # TEA071 territory
+        if _normalized_dump(source) != _normalized_dump(expected):
+            yield self.diag(
+                "module structure diverges from a faithful "
+                "regeneration for digest %s..., config %s: deopt "
+                "guards / dispatch control flow are not generator "
+                "output" % (header["digest"][:12], header["config"]),
+                location="structure",
+            )
+
+
+def static_certification_applicable(source, compiled):
+    """True when TEA070-TEA072 fully decide this artifact statically —
+    the condition under which TEA034 must not probe."""
+    header = _clean_header(source)
+    if header is None:
+        return False
+    return inapplicability_reason(source, compiled, header) is None
+
+
+register(JitStaticTableProof())
+register(JitStaticCostProof())
+register(JitStaticCertification())

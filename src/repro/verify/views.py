@@ -10,6 +10,8 @@ order, the head registry as ``(entry, sid)`` pairs, and in-trace
 flags.  Nothing here mutates the underlying automaton.
 """
 
+from __future__ import annotations
+
 from repro.core.automaton import NTE_SID
 
 

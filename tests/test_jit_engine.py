@@ -10,7 +10,8 @@ final sid and coverage), plus three obligations of its own:
 - the guard/deopt protocol (threshold deopts hand the batch remainder
   to a compiled fallback mid-stream without losing a single count);
 - the digest-keyed source cache in :class:`AutomatonStore` (hit on
-  match, regenerate on tamper, gated by TEA033/TEA034 on load);
+  match, regenerate on tamper, gated by TEA033 + the TEA07x static
+  certifier on load, TEA034 as the dynamic fallback tier);
 - ``reset``/``register_trace`` semantics matching the other engines.
 
 Checked across hypothesis-random programs, all four Table 4
@@ -426,7 +427,8 @@ def test_verify_flags_header_and_injection(nested_traces):
 def test_verify_flags_table_divergence(nested_traces):
     compiled_tea, source = _fresh_source(nested_traces)
     # Swap one NXT destination without touching the header: TEA033 is
-    # clean (still literal, in-range) but TEA034 must catch the drift.
+    # clean (still literal, in-range) but the static certifier must
+    # catch the drift — exactly TEA070, no dynamic probe.
     lines = source.split("\n")
     for i, line in enumerate(lines):
         if line.startswith("NXT = "):
@@ -439,10 +441,14 @@ def test_verify_flags_table_divergence(nested_traces):
             lines[i] = "NXT = %r" % (nxt,)
             break
     tampered = "\n".join(lines)
+    from repro.verify.rules_jit import dynamic_probe_count, \
+        reset_probe_count
+    reset_probe_count()
     report = verify_jit_source(tampered, compiled=compiled_tea)
     rule_ids = {d.rule_id for d in report.diagnostics}
-    assert rule_ids == {"TEA034"}
+    assert rule_ids == {"TEA070"}
     assert any("NXT" in d.message for d in report.diagnostics)
+    assert dynamic_probe_count() == 0
 
 
 def test_verify_path_dispatches_jit_sources(tmp_path, nested_program):

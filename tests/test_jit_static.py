@@ -1,0 +1,225 @@
+"""TEA07x static JIT certifier and TEA06x dataflow rules.
+
+The acceptance bar: every golden snapshot's cached JIT source is
+certified *statically* — the dynamic TEA034 probe counter stays at
+zero on the clean path — and each kind of tampering trips exactly its
+owning rule (jump table → TEA070, cost constant → TEA071, structure →
+TEA072).  TEA034 survives only as the fallback tier for sources the
+proof cannot cover.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import ReplayConfig, build_tea
+from repro.core.compiled import CompiledTea
+from repro.core.jit import generate_replay_source, params_token
+from repro.verify import verify_jit_source
+from repro.verify.rules_jit import dynamic_probe_count, reset_probe_count
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+@pytest.fixture
+def world(nested_traces):
+    compiled = CompiledTea.from_tea(build_tea(nested_traces))
+    source = generate_replay_source(
+        compiled, config=ReplayConfig.global_local())
+    return compiled, source
+
+
+def _verify(source, compiled):
+    reset_probe_count()
+    report = verify_jit_source(source, compiled=compiled)
+    return report, dynamic_probe_count()
+
+
+# ---------------------------------------------------------------------
+# clean path: static proof, zero probes
+# ---------------------------------------------------------------------
+
+def test_clean_source_statically_certified(world):
+    compiled, source = world
+    report, probes = _verify(source, compiled)
+    assert report.ok(strict=True), report.render_text()
+    assert {"TEA070", "TEA071", "TEA072", "TEA034"} <= set(
+        report.rules_run)
+    assert probes == 0, "clean path must not run the dynamic probe"
+
+
+def test_every_golden_snapshot_statically_certified(tmp_path):
+    from repro.store import AutomatonStore
+    from repro.store.binary import compile_tea_binary
+
+    reset_probe_count()
+    certified = 0
+    for path in sorted(GOLDEN.glob("*.teab")):
+        compiled = compile_tea_binary(path.read_bytes(), verify=False)
+        store = AutomatonStore(tmp_path / path.stem)
+        key = store.put_bytes(path.read_bytes())
+        store.get_jit(key)
+        jit_path = store.jit_path_for(key)
+        report = verify_jit_source(jit_path.read_text()
+                                   if hasattr(jit_path, "read_text")
+                                   else open(jit_path).read(),
+                                   compiled=compiled)
+        assert report.ok(strict=True), (path, report.render_text())
+        assert "TEA070" in report.rules_run
+        certified += 1
+    assert certified >= 1
+    assert dynamic_probe_count() == 0
+
+
+# ---------------------------------------------------------------------
+# tampering trips exactly the owning rule
+# ---------------------------------------------------------------------
+
+def _swap_table_entry(source, table="NXT"):
+    import ast
+
+    lines = source.split("\n")
+    for i, line in enumerate(lines):
+        if line.startswith("%s = " % table):
+            values = ast.literal_eval(line[len(table) + 3:])
+            if len(values) > 1 and values[0] != values[1]:
+                values[0], values[1] = values[1], values[0]
+            else:
+                values[0] = (values[0] + 1) % max(2, len(values))
+            lines[i] = "%s = %r" % (table, values)
+            return "\n".join(lines)
+    raise AssertionError("no %s table" % table)
+
+
+def test_tampered_jump_table_trips_exactly_tea070(world):
+    compiled, source = world
+    report, probes = _verify(_swap_table_entry(source, "NXT"),
+                             compiled)
+    assert report.rule_ids == ["TEA070"]
+    assert probes == 0
+
+
+def test_tampered_cost_constant_trips_exactly_tea071(world):
+    compiled, source = world
+    # Bump one charge() constant: tables still match, costs do not.
+    tampered, count = re.subn(
+        r"charge\('transition', fast_hits \* (\d+)",
+        lambda m: "charge('transition', fast_hits * %d" % (
+            int(m.group(1)) + 1),
+        source, count=1)
+    assert count == 1
+    report, probes = _verify(tampered, compiled)
+    assert report.rule_ids == ["TEA071"]
+    assert probes == 0
+
+
+def test_structural_divergence_trips_exactly_tea072(world):
+    compiled, source = world
+    # Insert a no-op statement into the module body: tables and costs
+    # still prove out, but the structure is not a faithful
+    # regeneration (TEA033 allows plain assignments, so this is the
+    # smallest edit the earlier tiers cannot see).
+    tampered = source + "\nextra_flag = 0\n"
+    report, probes = _verify(tampered, compiled)
+    assert report.rule_ids == ["TEA072"]
+    assert probes == 0
+
+
+# ---------------------------------------------------------------------
+# fallback tier: foreign params token routes to the dynamic probe
+# ---------------------------------------------------------------------
+
+def test_foreign_params_token_falls_back_to_dynamic_probe(world):
+    from repro.dbt.cost import CostParameters
+
+    compiled, _ = world
+    foreign = CostParameters(CALLBACK_FAST=31)
+    source = generate_replay_source(
+        compiled, config=ReplayConfig.global_local(), params=foreign)
+    assert params_token(foreign) in source
+    report, probes = _verify(source, compiled)
+    # The static proof is inapplicable; TEA034 probes dynamically and
+    # the honestly generated source still verifies clean.
+    assert probes == 1
+    assert report.ok(strict=True), report.render_text()
+
+
+# ---------------------------------------------------------------------
+# TEA06x dataflow family over the same subjects
+# ---------------------------------------------------------------------
+
+def test_dataflow_rules_run_deep_on_golden_snapshot():
+    from repro.verify import verify_path
+
+    # The golden snapshot carries benchmark meta; verify_path rebuilds
+    # the program and deep-decodes it, so the dataflow family runs.
+    report = verify_path(str(GOLDEN / "mcf_mret.teab"))
+    assert report.ok(strict=True), report.render_text()
+    assert {"TEA060", "TEA061", "TEA062"} <= set(report.rules_run)
+
+
+def test_dataflow_certifies_recorded_profile(nested_program,
+                                             nested_traces):
+    from repro.core import TeaProfile
+    from repro.pin import Pin, TeaReplayTool
+    from repro.verify import verify_path
+    from repro.store.binary_v2 import dump_tea_binary_v2
+
+    profile = TeaProfile()
+    tool = TeaReplayTool(trace_set=nested_traces, profile=profile)
+    Pin(nested_program, tool=tool).run()
+    data = dump_tea_binary_v2(nested_traces, tea=tool.tea,
+                              profile=profile)
+    import os
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "prof.teab")
+        with open(path, "wb") as handle:
+            handle.write(data)
+        from repro.cfg.basic_block import BlockIndex  # noqa: F401
+        report = verify_path(path, program=nested_program)
+    assert report.ok(strict=True), report.render_text()
+    certs = [d for d in report.diagnostics if d.rule_id == "TEA061"]
+    assert certs and "profile certified" in certs[0].message
+    assert certs[0].data["bounds"]["lo"] > 0
+
+
+def test_dataflow_flags_dead_transition(nested_traces):
+    from repro.verify import verify_tea
+
+    tea = build_tea(nested_traces)
+    report = verify_tea(tea)
+    assert report.ok(strict=True), report.render_text()
+    assert "TEA060" in report.rules_run
+
+
+def test_cost_intervals_are_coherent(nested_traces):
+    from repro.audit.fixpoint import state_cost_intervals
+    from repro.dbt.cost import CostParameters
+    from repro.verify.views import AutomatonView
+
+    view = AutomatonView.from_tea(build_tea(nested_traces))
+    intervals = state_cost_intervals(view, CostParameters())
+    assert intervals
+    for sid, interval in intervals.items():
+        assert 0 < interval.lo <= interval.hi, (sid, interval)
+
+
+def test_directory_probe_bounds_cover_all_kinds(nested_traces):
+    from repro.audit.fixpoint import directory_probe_bounds
+    from repro.core.directory import DIRECTORY_COST_PARAM, make_directory
+    from repro.verify.views import AutomatonView
+
+    view = AutomatonView.from_tea(build_tea(nested_traces))
+    heads = dict(view.heads)
+    for kind in sorted(DIRECTORY_COST_PARAM):
+        directory = make_directory(kind)
+        for pc, sid in sorted(heads.items()):
+            directory.insert(pc, sid)
+        low, high = directory_probe_bounds(kind, len(heads))
+        for pc, sid in sorted(heads.items()):
+            state, units = directory.lookup(pc)
+            assert state == sid
+            assert low <= units <= high, (kind, pc, units, low, high)
